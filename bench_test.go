@@ -1,0 +1,590 @@
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index). Each benchmark
+// both times the relevant pipeline stage and — once per `go test -bench`
+// invocation — prints the regenerated artifact rows, so that
+//
+//	go test -bench=. -benchmem
+//
+// emits the full set of reproduced tables alongside the timings.
+// EXPERIMENTS.md records a reference run.
+package p2_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"p2/internal/collective"
+	"p2/internal/cost"
+	"p2/internal/dsl"
+	"p2/internal/eval"
+	"p2/internal/hierarchy"
+	"p2/internal/lower"
+	"p2/internal/netsim"
+	"p2/internal/placement"
+	"p2/internal/search"
+	"p2/internal/synth"
+	"p2/internal/topology"
+	"p2/internal/trace"
+	"p2/internal/verify"
+	"p2/internal/xla"
+)
+
+var printOnce sync.Map
+
+// printArtifact emits a regenerated artifact exactly once per process.
+func printArtifact(key, body string) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Printf("\n===== %s =====\n%s\n", key, body)
+	}
+}
+
+func mustMatrix(b *testing.B, hier, axes []int, rows [][]int) *placement.Matrix {
+	b.Helper()
+	m, err := placement.NewMatrix(hier, axes, rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// --- Table 1: synthesis hierarchies --------------------------------------
+
+func BenchmarkTable1Hierarchies(b *testing.B) {
+	m := mustMatrix(b, []int{1, 2, 2, 4}, []int{4, 4},
+		[][]int{{1, 1, 2, 2}, {1, 2, 1, 2}})
+	var body string
+	for _, kind := range hierarchy.Kinds {
+		h := hierarchy.MustBuild(kind, m, []int{1}, hierarchy.Options{KeepUnitLevels: true})
+		body += fmt.Sprintf("%-16s %v\n", kind, h)
+	}
+	printArtifact("Table 1 — synthesis hierarchies for [[1 1 2 2] [1 2 1 2]], reduce axis 1", body)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, kind := range hierarchy.Kinds {
+			hierarchy.MustBuild(kind, m, []int{1}, hierarchy.Options{})
+		}
+	}
+}
+
+// --- Table 2: slice/form device groups -----------------------------------
+
+func BenchmarkTable2Groups(b *testing.B) {
+	m := mustMatrix(b, []int{1, 2, 2, 4}, []int{16}, [][]int{{1, 2, 2, 4}})
+	h := hierarchy.MustBuild(hierarchy.KindSystem, m, []int{0}, hierarchy.Options{})
+	sys := topology.Fig2aSystem()
+	ins := []struct {
+		label string
+		in    dsl.Instruction
+	}{
+		{"CPU, InsideGroup", dsl.Instruction{Slice: 2, Form: dsl.InsideGroup}},
+		{"CPU, Parallel(server)", dsl.Instruction{Slice: 2, Form: dsl.Parallel, Arg: 1}},
+		{"CPU, Parallel(rack)", dsl.Instruction{Slice: 2, Form: dsl.Parallel, Arg: 0}},
+		{"CPU, Master(rack)", dsl.Instruction{Slice: 2, Form: dsl.Master, Arg: 0}},
+		{"server, InsideGroup", dsl.Instruction{Slice: 1, Form: dsl.InsideGroup}},
+		{"server, Parallel(rack)", dsl.Instruction{Slice: 1, Form: dsl.Parallel, Arg: 0}},
+		{"rack, InsideGroup", dsl.Instruction{Slice: 0, Form: dsl.InsideGroup}},
+	}
+	var body string
+	for _, c := range ins {
+		groups := c.in.Groups(h)
+		body += fmt.Sprintf("%-24s", c.label)
+		for _, g := range groups {
+			body += "{"
+			for i, u := range g {
+				if i > 0 {
+					body += ","
+				}
+				body += sys.DeviceName(u)
+			}
+			body += "}"
+		}
+		body += "\n"
+	}
+	printArtifact("Table 2 — hierarchical communication patterns for Fig. 2a", body)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, c := range ins {
+			c.in.Groups(h)
+		}
+	}
+}
+
+// --- Table 3: AllReduce across parallelism matrices ----------------------
+
+func benchTable3(b *testing.B, sys *topology.System, axesList [][]int, key string) {
+	t, err := eval.BuildTable3(sys, axesList)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printArtifact(key, t.Markdown())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.BuildTable3(sys, axesList); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3A100(b *testing.B) {
+	benchTable3(b, topology.A100System(4),
+		[][]int{{2, 32}, {4, 16}, {8, 8}},
+		"Table 3 (A100 rows A/B/C) — AllReduce time across matrices")
+}
+
+func BenchmarkTable3V100(b *testing.B) {
+	benchTable3(b, topology.V100System(4),
+		[][]int{{8, 4}},
+		"Table 3 (V100 rows E) — AllReduce time across matrices")
+}
+
+// --- Table 4: synthesized optimal vs AllReduce ---------------------------
+
+func benchTable4(b *testing.B, cfg eval.Config, key string) {
+	r, err := eval.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printArtifact(key, eval.BuildTable4([]*eval.Result{r}).Markdown())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4RowF(b *testing.B) {
+	benchTable4(b, eval.Config{Sys: topology.A100System(2), Axes: []int{8, 4},
+		ReduceAxes: []int{0}, Algo: cost.Ring},
+		"Table 4 row F — 2-node A100, Ring, axes [8 4]")
+}
+
+func BenchmarkTable4RowG(b *testing.B) {
+	benchTable4(b, eval.Config{Sys: topology.A100System(4), Axes: []int{4, 16},
+		ReduceAxes: []int{0}, Algo: cost.Tree},
+		"Table 4 row G — 4-node A100, Tree, axes [4 16]")
+}
+
+func BenchmarkTable4RowH(b *testing.B) {
+	benchTable4(b, eval.Config{Sys: topology.A100System(4), Axes: []int{16, 2, 2},
+		ReduceAxes: []int{0, 2}, Algo: cost.Ring},
+		"Table 4 row H — 4-node A100, Ring, axes [16 2 2], reduce {0,2}")
+}
+
+func BenchmarkTable4RowI(b *testing.B) {
+	benchTable4(b, eval.Config{Sys: topology.A100System(4), Axes: []int{2, 2, 16},
+		ReduceAxes: []int{0, 2}, Algo: cost.Ring},
+		"Table 4 row I — 4-node A100, Ring, axes [2 2 16], reduce {0,2}")
+}
+
+func BenchmarkTable4RowJ(b *testing.B) {
+	benchTable4(b, eval.Config{Sys: topology.A100System(4), Axes: []int{64},
+		ReduceAxes: []int{0}, Algo: cost.Tree},
+		"Table 4 row J — 4-node A100, Tree, axes [64]")
+}
+
+func BenchmarkTable4RowK(b *testing.B) {
+	benchTable4(b, eval.Config{Sys: topology.V100System(4), Axes: []int{8, 2, 2},
+		ReduceAxes: []int{0, 2}, Algo: cost.Ring},
+		"Table 4 row K — 4-node V100, Ring, axes [8 2 2], reduce {0,2}")
+}
+
+func BenchmarkTable4RowL(b *testing.B) {
+	benchTable4(b, eval.Config{Sys: topology.V100System(4), Axes: []int{32},
+		ReduceAxes: []int{0}, Algo: cost.Ring},
+		"Table 4 row L — 4-node V100, Ring, axes [32]")
+}
+
+// --- Table 5: simulator accuracy (full suite) -----------------------------
+
+func BenchmarkTable5Accuracy(b *testing.B) {
+	run := func() []*eval.Result {
+		var all []*eval.Result
+		for _, s := range eval.PaperSuites() {
+			rs, err := eval.RunSuite(s, []cost.Algorithm{cost.Ring, cost.Tree})
+			if err != nil {
+				b.Fatal(err)
+			}
+			all = append(all, rs...)
+		}
+		return all
+	}
+	all := run()
+	printArtifact("Table 5 — prediction accuracy (full suite)",
+		eval.BuildTable5(all).Markdown())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+// --- Figure 11: simulation vs measurement series --------------------------
+
+func benchFigure11(b *testing.B, cfg eval.Config, key string) {
+	r, err := eval.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printArtifact(key, eval.BuildFigure11(r).Markdown())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure11a(b *testing.B) {
+	benchFigure11(b, eval.Config{Sys: topology.V100System(4), Axes: []int{2, 16},
+		ReduceAxes: []int{1}, Algo: cost.Ring},
+		"Figure 11a — 4-node V100, Ring, axes [2 16], reduce axis 1")
+}
+
+func BenchmarkFigure11b(b *testing.B) {
+	benchFigure11(b, eval.Config{Sys: topology.A100System(4), Axes: []int{4, 2, 8},
+		ReduceAxes: []int{0, 2}, Algo: cost.Tree},
+		"Figure 11b — 4-node A100, Tree, axes [4 2 8], reduce {0,2}")
+}
+
+// --- RQ2: synthesis speed --------------------------------------------------
+
+func BenchmarkSynthesisTwoLevel(b *testing.B) {
+	m := mustMatrix(b, []int{4, 16}, []int{4, 16}, [][]int{{2, 2}, {2, 8}})
+	h := hierarchy.MustBuild(hierarchy.KindReductionAxes, m, []int{0}, hierarchy.Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		synth.Synthesize(h, synth.Options{})
+	}
+}
+
+func BenchmarkSynthesisThreeAxis(b *testing.B) {
+	m := mustMatrix(b, []int{4, 16}, []int{16, 2, 2}, [][]int{{2, 8}, {2, 1}, {1, 2}})
+	h := hierarchy.MustBuild(hierarchy.KindReductionAxes, m, []int{0, 2},
+		hierarchy.Options{Collapse: true})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		synth.Synthesize(h, synth.Options{})
+	}
+}
+
+// --- Ablations (design choices of §2.5/§3.4) -------------------------------
+
+// BenchmarkAblationHierarchy compares synthesis cost across the four
+// synthesis hierarchies on the running example — the justification for
+// using (d): same expressible lowered programs, far smaller search space.
+func BenchmarkAblationHierarchy(b *testing.B) {
+	m := mustMatrix(b, []int{1, 2, 2, 4}, []int{4, 4},
+		[][]int{{1, 1, 2, 2}, {1, 2, 1, 2}})
+	var body string
+	for _, kind := range hierarchy.Kinds {
+		h := hierarchy.MustBuild(kind, m, []int{1}, hierarchy.Options{})
+		res := synth.Synthesize(h, synth.Options{MaxSize: 4})
+		body += fmt.Sprintf("%-16s universe=%2d candidates=%3d programs=%3d explored=%6d time=%v\n",
+			kind, h.K(), len(synth.Candidates(h)), len(res.Programs), res.Explored, res.Elapsed)
+	}
+	printArtifact("Ablation — synthesis hierarchy choice (Theorem 3.2 trade-off)", body)
+	for _, kind := range hierarchy.Kinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			h := hierarchy.MustBuild(kind, m, []int{1}, hierarchy.Options{})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				synth.Synthesize(h, synth.Options{MaxSize: 4})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCollapse measures the §2.5 same-hardware-level collapse.
+func BenchmarkAblationCollapse(b *testing.B) {
+	m := mustMatrix(b, []int{4, 16}, []int{8, 2, 4}, [][]int{{2, 4}, {2, 1}, {1, 4}})
+	var body string
+	for _, collapse := range []bool{false, true} {
+		h := hierarchy.MustBuild(hierarchy.KindReductionAxes, m, []int{0, 2},
+			hierarchy.Options{Collapse: collapse})
+		res := synth.Synthesize(h, synth.Options{})
+		body += fmt.Sprintf("collapse=%-5v hierarchy=%v programs=%4d explored=%7d time=%v\n",
+			collapse, h, len(res.Programs), res.Explored, res.Elapsed)
+	}
+	printArtifact("Ablation — same-level factor collapsing (§2.5)", body)
+	for _, collapse := range []bool{false, true} {
+		name := "off"
+		if collapse {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			h := hierarchy.MustBuild(hierarchy.KindReductionAxes, m, []int{0, 2},
+				hierarchy.Options{Collapse: collapse})
+			for i := 0; i < b.N; i++ {
+				synth.Synthesize(h, synth.Options{})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMemoization measures the context-memoization pruning.
+func BenchmarkAblationMemoization(b *testing.B) {
+	m := mustMatrix(b, []int{4, 16}, []int{4, 16}, [][]int{{2, 2}, {2, 8}})
+	h := hierarchy.MustBuild(hierarchy.KindReductionAxes, m, []int{0}, hierarchy.Options{})
+	for _, memo := range []bool{true, false} {
+		name := "on"
+		if !memo {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				synth.Synthesize(h, synth.Options{NoMemo: !memo})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSizeLimit sweeps the program-size limit (the paper notes
+// size 5 suffices and larger limits rarely add programs).
+func BenchmarkAblationSizeLimit(b *testing.B) {
+	m := mustMatrix(b, []int{4, 16}, []int{4, 16}, [][]int{{2, 2}, {2, 8}})
+	h := hierarchy.MustBuild(hierarchy.KindReductionAxes, m, []int{0}, hierarchy.Options{})
+	var body string
+	for size := 1; size <= 6; size++ {
+		res := synth.Synthesize(h, synth.Options{MaxSize: size})
+		body += fmt.Sprintf("maxSize=%d programs=%4d explored=%7d time=%v\n",
+			size, len(res.Programs), res.Explored, res.Elapsed)
+	}
+	printArtifact("Ablation — program size limit (§4.2 Result 2)", body)
+	for _, size := range []int{3, 5} {
+		b.Run(fmt.Sprintf("size%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				synth.Synthesize(h, synth.Options{MaxSize: size})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFusion measures the emulator's XLA AllReduce-fusion
+// peephole (§5's explanation for prediction misses).
+func BenchmarkAblationFusion(b *testing.B) {
+	m := mustMatrix(b, []int{4, 16}, []int{4, 16}, [][]int{{2, 2}, {2, 8}})
+	h := hierarchy.MustBuild(hierarchy.KindReductionAxes, m, []int{0}, hierarchy.Options{})
+	program := dsl.Program{
+		{Slice: 1, Form: dsl.InsideGroup, Op: collective.AllReduce},
+		{Slice: 1, Form: dsl.Parallel, Arg: 0, Op: collective.AllReduce},
+	}
+	lp, err := lower.Lower(program, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, fuse := range []bool{true, false} {
+		name := "on"
+		if !fuse {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			sim := &netsim.Simulator{Sys: topology.A100System(4), Algo: cost.Ring,
+				Bytes: cost.PayloadBytes(4),
+				Opts:  netsim.Options{DisableFusion: !fuse}}
+			for i := 0; i < b.N; i++ {
+				sim.Measure(lp)
+			}
+		})
+	}
+}
+
+// --- Micro-benchmarks of the pipeline stages -------------------------------
+
+func BenchmarkPlacementEnumerate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := placement.Enumerate([]int{4, 16}, []int{16, 2, 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLower(b *testing.B) {
+	m := mustMatrix(b, []int{4, 16}, []int{4, 16}, [][]int{{2, 2}, {2, 8}})
+	h := hierarchy.MustBuild(hierarchy.KindReductionAxes, m, []int{0}, hierarchy.Options{})
+	prog := synth.BaselineAllReduce()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := lower.Lower(prog, h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCostEstimate(b *testing.B) {
+	m := mustMatrix(b, []int{4, 16}, []int{4, 16}, [][]int{{2, 2}, {2, 8}})
+	h := hierarchy.MustBuild(hierarchy.KindReductionAxes, m, []int{0}, hierarchy.Options{})
+	lp, err := lower.Lower(synth.BaselineAllReduce(), h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := &cost.Model{Sys: topology.A100System(4), Algo: cost.Ring, Bytes: cost.PayloadBytes(4)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		model.ProgramTime(lp)
+	}
+}
+
+func BenchmarkNetsimMeasure(b *testing.B) {
+	m := mustMatrix(b, []int{4, 16}, []int{4, 16}, [][]int{{2, 2}, {2, 8}})
+	h := hierarchy.MustBuild(hierarchy.KindReductionAxes, m, []int{0}, hierarchy.Options{})
+	lp, err := lower.Lower(synth.BaselineAllReduce(), h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := &netsim.Simulator{Sys: topology.A100System(4), Algo: cost.Ring, Bytes: cost.PayloadBytes(4)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim.Measure(lp)
+	}
+}
+
+// --- Extensions beyond the paper -------------------------------------------
+
+// BenchmarkExtensionBestFirst compares cost-guided Dijkstra search against
+// full enumeration + ranking for finding the single optimal program.
+func BenchmarkExtensionBestFirst(b *testing.B) {
+	m := mustMatrix(b, []int{4, 16}, []int{4, 16}, [][]int{{2, 2}, {2, 8}})
+	h := hierarchy.MustBuild(hierarchy.KindReductionAxes, m, []int{0}, hierarchy.Options{})
+	model := &cost.Model{Sys: topology.A100System(4), Algo: cost.Ring, Bytes: cost.PayloadBytes(4)}
+	prog, total, stats, ok := search.Best(h, model, 5)
+	if !ok {
+		b.Fatal("search failed")
+	}
+	res := synth.Synthesize(h, synth.Options{})
+	printArtifact("Extension — best-first search vs enumeration",
+		fmt.Sprintf("optimum: %v (%.3fs)\nbest-first expanded %d states; enumeration explored %d for %d programs\n",
+			prog, total, stats.Expanded, res.Explored, len(res.Programs)))
+	b.Run("dijkstra", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			search.Best(h, model, 5)
+		}
+	})
+	b.Run("enumerate-all", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := synth.Synthesize(h, synth.Options{})
+			for _, p := range r.Programs {
+				lp, err := lower.Lower(p, h)
+				if err != nil {
+					b.Fatal(err)
+				}
+				model.ProgramTime(lp)
+			}
+		}
+	})
+}
+
+// BenchmarkExtensionPipelining prints the bucket-count sweep for the
+// RS-AR-AG strategy (gradient bucketing) and times the estimator.
+func BenchmarkExtensionPipelining(b *testing.B) {
+	m := mustMatrix(b, []int{4, 16}, []int{4, 16}, [][]int{{2, 2}, {2, 8}})
+	h := hierarchy.MustBuild(hierarchy.KindReductionAxes, m, []int{0}, hierarchy.Options{})
+	prog := dsl.Program{
+		{Slice: 1, Form: dsl.InsideGroup, Op: collective.ReduceScatter},
+		{Slice: 1, Form: dsl.Parallel, Arg: 0, Op: collective.AllReduce},
+		{Slice: 1, Form: dsl.InsideGroup, Op: collective.AllGather},
+	}
+	lp, err := lower.Lower(prog, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := &cost.Model{Sys: topology.A100System(4), Algo: cost.Ring, Bytes: cost.PayloadBytes(4)}
+	var body string
+	for _, buckets := range []int{1, 2, 4, 8, 16, 32, 64} {
+		body += fmt.Sprintf("buckets=%-3d predicted=%.3fs\n", buckets, model.PipelinedTime(lp, buckets))
+	}
+	bOpt, tOpt := cost.OptimalBuckets(model, lp, 64)
+	body += fmt.Sprintf("optimal: %d buckets at %.3fs (unbucketed %.3fs)\n",
+		bOpt, tOpt, model.ProgramTime(lp))
+	printArtifact("Extension — pipelined gradient bucketing (RS-AR-AG on [[2 2] [2 8]])", body)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cost.OptimalBuckets(model, lp, 64)
+	}
+}
+
+// BenchmarkExtensionAlgorithms prints the three-algorithm comparison for a
+// mixed local/remote AllReduce.
+func BenchmarkExtensionAlgorithms(b *testing.B) {
+	m := mustMatrix(b, []int{4, 16}, []int{4, 16}, [][]int{{2, 2}, {2, 8}})
+	h := hierarchy.MustBuild(hierarchy.KindReductionAxes, m, []int{0}, hierarchy.Options{})
+	lp, err := lower.Lower(synth.BaselineAllReduce(), h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var body string
+	for _, algo := range cost.ExtendedAlgorithms {
+		model := &cost.Model{Sys: topology.A100System(4), Algo: algo, Bytes: cost.PayloadBytes(4)}
+		sim := &netsim.Simulator{Sys: topology.A100System(4), Algo: algo, Bytes: cost.PayloadBytes(4)}
+		body += fmt.Sprintf("%-16s predicted=%.3fs emulated=%.3fs\n",
+			algo, model.ProgramTime(lp), sim.Measure(lp))
+	}
+	printArtifact("Extension — AllReduce algorithm comparison on [[2 2] [2 8]]", body)
+	for _, algo := range cost.ExtendedAlgorithms {
+		b.Run(algo.String(), func(b *testing.B) {
+			sim := &netsim.Simulator{Sys: topology.A100System(4), Algo: algo, Bytes: cost.PayloadBytes(4)}
+			for i := 0; i < b.N; i++ {
+				sim.Measure(lp)
+			}
+		})
+	}
+}
+
+// BenchmarkTraceRecording measures the emulator overhead of transfer
+// recording.
+func BenchmarkTraceRecording(b *testing.B) {
+	m := mustMatrix(b, []int{4, 16}, []int{4, 16}, [][]int{{2, 2}, {2, 8}})
+	h := hierarchy.MustBuild(hierarchy.KindReductionAxes, m, []int{0}, hierarchy.Options{})
+	lp, err := lower.Lower(synth.BaselineAllReduce(), h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	col := &trace.Collector{}
+	sim := &netsim.Simulator{Sys: topology.A100System(4), Algo: cost.Ring, Bytes: cost.PayloadBytes(4),
+		Recorder: col.Record}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		col.Events = col.Events[:0]
+		sim.Measure(lp)
+	}
+	if len(col.Events) == 0 {
+		b.Fatal("no events recorded")
+	}
+}
+
+// BenchmarkVerifyConcrete measures the concrete-data executor.
+func BenchmarkVerifyConcrete(b *testing.B) {
+	m := mustMatrix(b, []int{4, 16}, []int{4, 16}, [][]int{{2, 2}, {2, 8}})
+	h := hierarchy.MustBuild(hierarchy.KindReductionAxes, m, []int{0}, hierarchy.Options{})
+	lp, err := lower.Lower(synth.BaselineAllReduce(), h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := verify.Check(lp, m, []int{0}, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkXLAEmit measures the HLO renderer round trip.
+func BenchmarkXLAEmit(b *testing.B) {
+	m := mustMatrix(b, []int{4, 16}, []int{4, 16}, [][]int{{2, 2}, {2, 8}})
+	h := hierarchy.MustBuild(hierarchy.KindReductionAxes, m, []int{0}, hierarchy.Options{})
+	lp, err := lower.Lower(synth.BaselineAllReduce(), h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		src, err := xla.Emit(lp, 1<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := xla.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,472 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"p2"
+	"p2/internal/cost"
+	"p2/internal/eval"
+	"p2/internal/hierarchy"
+	"p2/internal/lower"
+	"p2/internal/netsim"
+	"p2/internal/placement"
+	"p2/internal/synth"
+	"p2/internal/topology"
+	"p2/internal/trace"
+	"p2/internal/verify"
+	"p2/internal/xla"
+)
+
+// commonFlags bundles the flags shared by most subcommands.
+type commonFlags struct {
+	fs      *flag.FlagSet
+	sysName *string
+	nodes   *int
+	axes    *string
+	reduce  *string
+	algo    *string
+	matrix  *string
+}
+
+func newCommon(name string, out io.Writer) *commonFlags {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(out)
+	return &commonFlags{
+		fs:      fs,
+		sysName: fs.String("system", "a100", "system preset: a100, v100 or fig2a"),
+		nodes:   fs.Int("nodes", 4, "number of nodes (a100/v100 presets)"),
+		axes:    fs.String("axes", "", `parallelism axes, e.g. "[4 16]"`),
+		reduce:  fs.String("reduce", "[0]", `reduction axes, e.g. "[0]" or "[0 2]"`),
+		algo:    fs.String("algo", "Ring", "NCCL algorithm: Ring or Tree"),
+		matrix:  fs.String("matrix", "", `restrict to one matrix, e.g. "[[2 2] [2 8]]"`),
+	}
+}
+
+func (c *commonFlags) system() (*topology.System, error) {
+	return buildSystem(*c.sysName, *c.nodes)
+}
+
+func (c *commonFlags) parsed() (axes, red []int, algo cost.Algorithm, err error) {
+	axes, err = placement.ParseVector(*c.axes)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	red, err = placement.ParseVector(*c.reduce)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	algo, err = cost.ParseAlgorithm(*c.algo)
+	return axes, red, algo, err
+}
+
+func buildSystem(name string, nodes int) (*topology.System, error) {
+	switch strings.ToLower(name) {
+	case "a100":
+		return topology.A100System(nodes), nil
+	case "v100":
+		return topology.V100System(nodes), nil
+	case "fig2a":
+		return topology.Fig2aSystem(), nil
+	default:
+		return nil, fmt.Errorf("unknown system %q (want a100, v100 or fig2a)", name)
+	}
+}
+
+// planFor wraps p2.Plan with optional matrix restriction from a CLI flag.
+func planFor(sys *topology.System, axes, red []int, algo cost.Algorithm, matStr string) (*p2.PlanResult, error) {
+	req := p2.Request{Axes: axes, ReduceAxes: red, Algo: algo}
+	if matStr != "" {
+		m, err := p2.ParseMatrix(sys, axes, matStr)
+		if err != nil {
+			return nil, err
+		}
+		req.Matrix = m
+	}
+	return p2.Plan(sys, req)
+}
+
+func cmdPlacements(args []string, out io.Writer) error {
+	c := newCommon("placements", out)
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := c.system()
+	if err != nil {
+		return err
+	}
+	axes, err := placement.ParseVector(*c.axes)
+	if err != nil {
+		return err
+	}
+	ms, err := placement.Enumerate(sys.Hierarchy(), axes)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "system %s %v, axes %v: %d placements (naive space: %v)\n",
+		sys.Name, sys.Hierarchy(), axes, len(ms), placement.NaivePlacementCount(axes))
+	for i, m := range ms {
+		fmt.Fprintf(out, "  %2d: %s\n", i+1, m)
+	}
+	return nil
+}
+
+func cmdSynth(args []string, out io.Writer) error {
+	c := newCommon("synth", out)
+	top := c.fs.Int("top", 10, "show only the fastest-predicted N programs (0 = all)")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := c.system()
+	if err != nil {
+		return err
+	}
+	axes, red, algo, err := c.parsed()
+	if err != nil {
+		return err
+	}
+	plan, err := planFor(sys, axes, red, algo, *c.matrix)
+	if err != nil {
+		return err
+	}
+	n := len(plan.Strategies)
+	fmt.Fprintf(out, "%d strategies (placement × program), fastest predicted first:\n", n)
+	if *top > 0 && *top < n {
+		n = *top
+	}
+	for i := 0; i < n; i++ {
+		s := plan.Strategies[i]
+		fmt.Fprintf(out, "  %2d: %9.3fs  %-18v %v\n", i+1, s.Predicted, s.Matrix, s.Program)
+	}
+	return nil
+}
+
+func cmdEval(args []string, out io.Writer) error {
+	c := newCommon("eval", out)
+	tsv := c.fs.Bool("tsv", false, "emit TSV instead of markdown")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := c.system()
+	if err != nil {
+		return err
+	}
+	axes, red, algo, err := c.parsed()
+	if err != nil {
+		return err
+	}
+	r, err := eval.Run(eval.Config{Sys: sys, Axes: axes, ReduceAxes: red, Algo: algo})
+	if err != nil {
+		return err
+	}
+	emit(out, eval.BuildTable4([]*eval.Result{r}), *tsv)
+	return nil
+}
+
+func cmdExport(args []string, out io.Writer) error {
+	c := newCommon("export", out)
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := c.system()
+	if err != nil {
+		return err
+	}
+	axes, red, algo, err := c.parsed()
+	if err != nil {
+		return err
+	}
+	r, err := eval.Run(eval.Config{Sys: sys, Axes: axes, ReduceAxes: red, Algo: algo})
+	if err != nil {
+		return err
+	}
+	data, err := eval.ToJSON([]*eval.Result{r})
+	if err != nil {
+		return err
+	}
+	_, err = out.Write(append(data, '\n'))
+	return err
+}
+
+func cmdHLO(args []string, out io.Writer) error {
+	c := newCommon("hlo", out)
+	progStr := c.fs.String("program", "", `program text, e.g. "(0, InsideGroup, AllReduce)"; empty = best predicted`)
+	elems := c.fs.Int("elems", 1<<22, "per-device f32 element count")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := c.system()
+	if err != nil {
+		return err
+	}
+	axes, red, algo, err := c.parsed()
+	if err != nil {
+		return err
+	}
+	if *c.matrix == "" {
+		return fmt.Errorf("hlo requires -matrix")
+	}
+	m, err := placement.ParseMatrix(*c.matrix, sys.Hierarchy(), axes)
+	if err != nil {
+		return err
+	}
+	h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, red,
+		hierarchy.Options{Collapse: len(red) > 1})
+	if err != nil {
+		return err
+	}
+	var lp *lower.Program
+	if *progStr != "" {
+		prog, err := p2.ParseProgram(*progStr)
+		if err != nil {
+			return err
+		}
+		if lp, err = lower.Lower(prog, h); err != nil {
+			return err
+		}
+	} else {
+		plan, err := planFor(sys, axes, red, algo, *c.matrix)
+		if err != nil {
+			return err
+		}
+		lp = plan.Best().Lowered()
+	}
+	src, err := xla.Emit(lp, *elems)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(out, src)
+	return err
+}
+
+func cmdVerify(args []string, out io.Writer) error {
+	c := newCommon("verify", out)
+	progStr := c.fs.String("program", "", "verify only this program (empty = all synthesized)")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := c.system()
+	if err != nil {
+		return err
+	}
+	axes, red, _, err := c.parsed()
+	if err != nil {
+		return err
+	}
+	var matrices []*placement.Matrix
+	if *c.matrix != "" {
+		m, err := placement.ParseMatrix(*c.matrix, sys.Hierarchy(), axes)
+		if err != nil {
+			return err
+		}
+		matrices = []*placement.Matrix{m}
+	} else if matrices, err = placement.Enumerate(sys.Hierarchy(), axes); err != nil {
+		return err
+	}
+	total := 0
+	for _, m := range matrices {
+		h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, red,
+			hierarchy.Options{Collapse: len(red) > 1})
+		if err != nil {
+			return err
+		}
+		var progs []p2.Program
+		if *progStr != "" {
+			prog, err := p2.ParseProgram(*progStr)
+			if err != nil {
+				return err
+			}
+			progs = []p2.Program{prog}
+		} else {
+			progs = synth.Synthesize(h, synth.Options{}).Programs
+		}
+		for _, prog := range progs {
+			lp, err := lower.Lower(prog, h)
+			if err != nil {
+				return fmt.Errorf("matrix %v program %v: %w", m, prog, err)
+			}
+			if err := verify.Check(lp, m, red, 2); err != nil {
+				return fmt.Errorf("matrix %v program %v: %w", m, prog, err)
+			}
+			total++
+		}
+		fmt.Fprintf(out, "matrix %v: %d programs verified on concrete data\n", m, len(progs))
+	}
+	fmt.Fprintf(out, "OK: %d lowered programs compute exact reduction sums\n", total)
+	return nil
+}
+
+func cmdTrace(args []string, out io.Writer) error {
+	c := newCommon("trace", out)
+	progStr := c.fs.String("program", "", "program text; empty = best predicted")
+	outPath := c.fs.String("o", "", "write Chrome trace JSON to this file (default stdout)")
+	summary := c.fs.Bool("summary", false, "print a per-step summary instead of the JSON")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := c.system()
+	if err != nil {
+		return err
+	}
+	axes, red, algo, err := c.parsed()
+	if err != nil {
+		return err
+	}
+	plan, err := planFor(sys, axes, red, algo, *c.matrix)
+	if err != nil {
+		return err
+	}
+	strat := plan.Best()
+	if *progStr != "" {
+		prog, err := p2.ParseProgram(*progStr)
+		if err != nil {
+			return err
+		}
+		found := false
+		for _, s := range plan.Strategies {
+			if s.Program.String() == prog.String() && (*c.matrix == "" || s.Matrix.String() == strat.Matrix.String()) {
+				strat, found = s, true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("program %q was not synthesized for this request", *progStr)
+		}
+	}
+	col := &trace.Collector{}
+	sim := &netsim.Simulator{Sys: sys, Algo: algo,
+		Bytes: cost.PayloadBytes(sys.Levels[0].Count), Recorder: col.Record}
+	total := sim.Measure(strat.Lowered())
+	if *summary {
+		fmt.Fprintf(out, "strategy: %v via %v\n", strat.Matrix, strat.Program)
+		fmt.Fprintf(out, "emulated total: %.4f s, %d transfers\n", total, len(col.Events))
+		for _, s := range col.Summarize() {
+			fmt.Fprintf(out, "  step %d %-14s %5d transfers %10.1f MB  [%.4f, %.4f] s\n",
+				s.Step, s.Op, s.Transfers, s.Bytes/1e6, s.Start, s.End)
+		}
+		return nil
+	}
+	w := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return col.WriteChrome(w, sys)
+}
+
+func cmdTables(args []string, out io.Writer) error {
+	c := newCommon("tables", out)
+	table := c.fs.String("table", "4", "which table: 3, 4 or appendix")
+	tsv := c.fs.Bool("tsv", false, "emit TSV instead of markdown")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	switch *table {
+	case "3":
+		sys, err := c.system()
+		if err != nil {
+			return err
+		}
+		var axesList [][]int
+		for _, cc := range eval.PaperCases(sys.NumDevices(), false) {
+			if len(cc.Axes) == 2 {
+				axesList = append(axesList, cc.Axes)
+			}
+		}
+		t, err := eval.BuildTable3(sys, axesList)
+		if err != nil {
+			return err
+		}
+		emit(out, t, *tsv)
+	case "4":
+		sys, err := c.system()
+		if err != nil {
+			return err
+		}
+		suite := eval.Suite{Sys: sys, Cases: eval.PaperCases(sys.NumDevices(), *c.nodes >= 4)}
+		rs, err := eval.RunSuite(suite, []cost.Algorithm{cost.Ring, cost.Tree})
+		if err != nil {
+			return err
+		}
+		emit(out, eval.BuildTable4(rs), *tsv)
+	case "appendix":
+		var all []*eval.Result
+		for _, s := range eval.PaperSuites() {
+			rs, err := eval.RunSuite(s, []cost.Algorithm{cost.Ring, cost.Tree})
+			if err != nil {
+				return err
+			}
+			all = append(all, rs...)
+		}
+		emit(out, eval.BuildAppendix(all), *tsv)
+	default:
+		return fmt.Errorf("unknown table %q", *table)
+	}
+	return nil
+}
+
+func cmdFigure11(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("figure11", flag.ContinueOnError)
+	fs.SetOutput(out)
+	panel := fs.String("panel", "a", "panel a (V100 ring [2 16] red axis 1) or b (A100 tree [4 2 8] red axes {0,2})")
+	chart := fs.Bool("chart", false, "render an ASCII chart instead of the table")
+	tsv := fs.Bool("tsv", false, "emit TSV instead of markdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var cfg eval.Config
+	switch *panel {
+	case "a":
+		cfg = eval.Config{Sys: topology.V100System(4), Axes: []int{2, 16},
+			ReduceAxes: []int{1}, Algo: cost.Ring}
+	case "b":
+		cfg = eval.Config{Sys: topology.A100System(4), Axes: []int{4, 2, 8},
+			ReduceAxes: []int{0, 2}, Algo: cost.Tree}
+	default:
+		return fmt.Errorf("unknown panel %q", *panel)
+	}
+	r, err := eval.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if *chart {
+		_, err = io.WriteString(out, eval.Figure11Chart(r))
+		return err
+	}
+	emit(out, eval.BuildFigure11(r), *tsv)
+	return nil
+}
+
+func cmdAccuracy(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("accuracy", flag.ContinueOnError)
+	fs.SetOutput(out)
+	tsv := fs.Bool("tsv", false, "emit TSV instead of markdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var all []*eval.Result
+	for _, s := range eval.PaperSuites() {
+		rs, err := eval.RunSuite(s, []cost.Algorithm{cost.Ring, cost.Tree})
+		if err != nil {
+			return err
+		}
+		all = append(all, rs...)
+	}
+	emit(out, eval.BuildTable5(all), *tsv)
+	return nil
+}
+
+func emit(out io.Writer, t *eval.Table, tsv bool) {
+	if tsv {
+		io.WriteString(out, t.TSV())
+	} else {
+		io.WriteString(out, t.Markdown())
+	}
+}

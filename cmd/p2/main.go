@@ -1,0 +1,86 @@
+// Command p2 is the command-line interface to the P² synthesizer: it
+// enumerates parallelism placements, synthesizes reduction strategies,
+// evaluates them on the analytic model and the network emulator, and
+// regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	p2 placements -system a100 -nodes 4 -axes "[4 16]"
+//	p2 synth      -system a100 -nodes 4 -axes "[4 16]" -reduce "[0]" [-matrix "[[2 2] [2 8]]"]
+//	p2 eval       -system a100 -nodes 4 -axes "[4 16]" -reduce "[0]" -algo Ring
+//	p2 export     -system a100 -nodes 4 -axes "[4 16]" -reduce "[0]" -algo Ring   # JSON
+//	p2 hlo        -system a100 -nodes 4 -axes "[4 16]" -reduce "[0]" -matrix "[[2 2] [2 8]]" -program "..."
+//	p2 verify     -system a100 -nodes 4 -axes "[4 16]" -reduce "[0]" -matrix "[[2 2] [2 8]]"
+//	p2 tables     -table 3|4|appendix [-system a100|v100] [-nodes N]
+//	p2 figure11   -panel a|b [-chart]
+//	p2 accuracy
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run dispatches a CLI invocation; it is the testable entry point.
+func run(args []string, out, errOut io.Writer) int {
+	if len(args) < 1 {
+		usage(errOut)
+		return 2
+	}
+	cmd, rest := args[0], args[1:]
+	var err error
+	switch cmd {
+	case "placements":
+		err = cmdPlacements(rest, out)
+	case "synth":
+		err = cmdSynth(rest, out)
+	case "eval":
+		err = cmdEval(rest, out)
+	case "export":
+		err = cmdExport(rest, out)
+	case "hlo":
+		err = cmdHLO(rest, out)
+	case "verify":
+		err = cmdVerify(rest, out)
+	case "trace":
+		err = cmdTrace(rest, out)
+	case "tables":
+		err = cmdTables(rest, out)
+	case "figure11":
+		err = cmdFigure11(rest, out)
+	case "accuracy":
+		err = cmdAccuracy(rest, out)
+	case "help", "-h", "--help":
+		usage(out)
+	default:
+		fmt.Fprintf(errOut, "p2: unknown command %q\n", cmd)
+		usage(errOut)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(errOut, "p2:", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `p2 — parallelism placement and reduction strategy synthesis
+
+commands:
+  placements  enumerate parallelism matrices for an axis configuration
+  synth       synthesize reduction programs and rank them by predicted time
+  eval        full sweep: synthesize, predict, measure, report per matrix
+  export      full sweep emitted as JSON
+  hlo         emit a synthesized program as XLA-HLO-style module text
+  verify      execute synthesized programs on concrete data and check sums
+  trace       emulate one strategy and emit a Chrome trace of its transfers
+  tables      regenerate the paper's Table 3, Table 4 or the appendix table
+  figure11    regenerate a Figure 11 panel (-chart for an ASCII plot)
+  accuracy    regenerate Table 5 (top-k prediction accuracy, full suite)`)
+}

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// exec runs the CLI and returns (stdout, stderr, exit code).
+func exec(args ...string) (string, string, int) {
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return out.String(), errOut.String(), code
+}
+
+func TestNoArgs(t *testing.T) {
+	_, errOut, code := exec()
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "commands:") {
+		t.Error("usage missing")
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	_, errOut, code := exec("frobnicate")
+	if code != 2 || !strings.Contains(errOut, "unknown command") {
+		t.Errorf("exit=%d err=%q", code, errOut)
+	}
+}
+
+func TestHelp(t *testing.T) {
+	out, _, code := exec("help")
+	if code != 0 || !strings.Contains(out, "placements") {
+		t.Errorf("help failed: %d %q", code, out)
+	}
+}
+
+func TestPlacementsCommand(t *testing.T) {
+	out, errOut, code := exec("placements", "-system", "a100", "-nodes", "4", "-axes", "[4 16]")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"3 placements", "[[1 4] [4 4]]", "[[4 1] [1 16]]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlacementsBadAxes(t *testing.T) {
+	_, errOut, code := exec("placements", "-axes", "[3 5]")
+	if code != 1 || !strings.Contains(errOut, "p2:") {
+		t.Errorf("exit=%d err=%q", code, errOut)
+	}
+}
+
+func TestSynthCommand(t *testing.T) {
+	out, errOut, code := exec("synth", "-system", "a100", "-nodes", "2",
+		"-axes", "[4 8]", "-reduce", "[0]", "-top", "3")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "strategies") || !strings.Contains(out, "AllReduce") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestSynthWithMatrix(t *testing.T) {
+	out, _, code := exec("synth", "-system", "a100", "-nodes", "2",
+		"-axes", "[4 8]", "-reduce", "[0]", "-matrix", "[[2 2] [1 8]]", "-top", "0")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Contains(out, "[[1 4]") {
+		t.Error("matrix restriction ignored")
+	}
+}
+
+func TestEvalCommand(t *testing.T) {
+	out, errOut, code := exec("eval", "-system", "v100", "-nodes", "2",
+		"-axes", "[4 4]", "-reduce", "[1]", "-algo", "Ring", "-tsv")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "Speedup") || !strings.Contains(out, "\t") {
+		t.Errorf("TSV output:\n%s", out)
+	}
+}
+
+func TestExportCommand(t *testing.T) {
+	out, errOut, code := exec("export", "-system", "v100", "-nodes", "2",
+		"-axes", "[4 4]", "-reduce", "[1]")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, `"system": "v100-2node"`) {
+		t.Errorf("JSON output:\n%s", out)
+	}
+}
+
+func TestHLOCommand(t *testing.T) {
+	out, errOut, code := exec("hlo", "-system", "a100", "-nodes", "2",
+		"-axes", "[4 8]", "-reduce", "[0]", "-matrix", "[[2 2] [1 8]]",
+		"-program", "(1, InsideGroup, ReduceScatter); (1, Parallel(0), AllReduce); (1, InsideGroup, AllGather)",
+		"-elems", "1024")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"HloModule", "reduce-scatter", "all-reduce", "all-gather"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HLO missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHLOBestProgram(t *testing.T) {
+	out, errOut, code := exec("hlo", "-system", "a100", "-nodes", "2",
+		"-axes", "[4 8]", "-reduce", "[0]", "-matrix", "[[1 4] [2 4]]")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "HloModule") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestHLORequiresMatrix(t *testing.T) {
+	_, errOut, code := exec("hlo", "-system", "a100", "-nodes", "2",
+		"-axes", "[4 8]", "-reduce", "[0]")
+	if code != 1 || !strings.Contains(errOut, "-matrix") {
+		t.Errorf("exit=%d err=%q", code, errOut)
+	}
+}
+
+func TestVerifyCommand(t *testing.T) {
+	out, errOut, code := exec("verify", "-system", "a100", "-nodes", "2",
+		"-axes", "[4 8]", "-reduce", "[0]", "-matrix", "[[2 2] [1 8]]")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "OK:") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestFigure11Chart(t *testing.T) {
+	out, errOut, code := exec("figure11", "-panel", "a", "-chart")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "measured") || !strings.Contains(out, "Figure 11") {
+		t.Errorf("chart output:\n%s", out)
+	}
+}
+
+func TestFigure11UnknownPanel(t *testing.T) {
+	_, _, code := exec("figure11", "-panel", "z")
+	if code != 1 {
+		t.Errorf("exit = %d", code)
+	}
+}
+
+func TestTablesUnknown(t *testing.T) {
+	_, _, code := exec("tables", "-table", "99")
+	if code != 1 {
+		t.Errorf("exit = %d", code)
+	}
+}
+
+func TestTables3V100TwoNode(t *testing.T) {
+	out, errOut, code := exec("tables", "-table", "3", "-system", "v100", "-nodes", "2")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "Table 3") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestBuildSystemErrors(t *testing.T) {
+	if _, err := buildSystem("tpu", 4); err == nil {
+		t.Error("unknown system accepted")
+	}
+	for _, name := range []string{"a100", "V100", "fig2a"} {
+		if _, err := buildSystem(name, 2); err != nil {
+			t.Errorf("buildSystem(%q): %v", name, err)
+		}
+	}
+}
+
+func TestTraceSummaryCommand(t *testing.T) {
+	out, errOut, code := exec("trace", "-system", "a100", "-nodes", "2",
+		"-axes", "[4 8]", "-reduce", "[0]", "-matrix", "[[2 2] [1 8]]", "-summary")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "emulated total") || !strings.Contains(out, "step 0") {
+		t.Errorf("summary output:\n%s", out)
+	}
+}
+
+func TestTraceJSONCommand(t *testing.T) {
+	out, errOut, code := exec("trace", "-system", "a100", "-nodes", "2",
+		"-axes", "[4 8]", "-reduce", "[0]", "-matrix", "[[2 2] [1 8]]",
+		"-program", "(0, InsideGroup, AllReduce)")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "traceEvents") {
+		t.Errorf("trace output:\n%s", out)
+	}
+}
+
+func TestTraceUnknownProgram(t *testing.T) {
+	_, errOut, code := exec("trace", "-system", "a100", "-nodes", "2",
+		"-axes", "[4 8]", "-reduce", "[0]", "-program", "(0, InsideGroup, Broadcast)")
+	if code != 1 || !strings.Contains(errOut, "not synthesized") {
+		t.Errorf("exit=%d err=%q", code, errOut)
+	}
+}

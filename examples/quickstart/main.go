@@ -1,0 +1,60 @@
+// Quickstart walks through the paper's running example (§2) on the Fig. 2a
+// system: 1 rack × 2 servers × 2 CPUs × 4 GPUs, combining data parallelism
+// of size 4 with 4 parameter shards.
+//
+// It enumerates the parallelism placements of Fig. 2, then synthesizes the
+// reduction strategies of Fig. 3 for the Fig. 2d placement and ranks them
+// with the analytic cost model.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"p2"
+)
+
+func main() {
+	sys := p2.Fig2aSystem()
+	fmt.Println("system:", sys)
+
+	// Step 1 — parallelism placement synthesis (§3.1).
+	axes := []int{4, 4} // data parallelism × parameter shards
+	matrices, err := p2.Placements(sys, axes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d parallelism placements for axes %v:\n", len(matrices), axes)
+	for _, m := range matrices {
+		fmt.Println("  ", m)
+	}
+
+	// Step 2 — reduction strategy synthesis (§3.3–3.5) for the Fig. 2d
+	// placement, reducing along parameter sharding (axis 1).
+	fig2d, err := p2.ParseMatrix(sys, axes, "[[1 1 2 2] [1 2 1 2]]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := p2.Plan(sys, p2.Request{
+		Axes:       axes,
+		ReduceAxes: []int{1},
+		Matrix:     fig2d,
+		Bytes:      512e6, // 512 MB of gradients per device
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreduction strategies for %v (reduce axis 1), fastest first:\n", fig2d)
+	for i, s := range plan.Strategies {
+		fmt.Printf("  %2d: %8.2f ms  %v\n", i+1, s.Predicted*1e3, s.Program)
+	}
+
+	// Step 3 — compare the best strategy against the plain AllReduce on
+	// the event-level emulator.
+	best := plan.Best()
+	base := plan.BaselineFor(fig2d)
+	fmt.Printf("\nbaseline AllReduce: %8.2f ms (emulated)\n", base.Measure()*1e3)
+	fmt.Printf("best strategy:      %8.2f ms (emulated)  %v\n", best.Measure()*1e3, best.Program)
+}

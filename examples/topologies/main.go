@@ -1,0 +1,73 @@
+// Topologies demonstrates the paper's closing use case: "establishing
+// projections about communication costs when investigating new system
+// hierarchies". It defines a hypothetical future system with a custom
+// hierarchy — 8 nodes, each with 2 accelerator pods of 8 devices — and
+// projects AllReduce cost across every placement of a 16-way data-parallel,
+// 8-way sharded workload, for three candidate pod-interconnect bandwidths.
+//
+// Run with: go run ./examples/topologies
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"p2"
+)
+
+func buildSystem(podBW float64) *p2.System {
+	sys, err := p2.NewSystem(
+		fmt.Sprintf("future-%.0fGBps", podBW/1e9),
+		[]p2.Level{
+			{Name: "node", Count: 8},
+			{Name: "pod", Count: 2},
+			{Name: "dev", Count: 8},
+		},
+		[]p2.Link{
+			{Name: "NIC", Bandwidth: 12e9, Latency: 15e-6},     // node ↔ DCN
+			{Name: "PodLink", Bandwidth: podBW, Latency: 4e-6}, // pod ↔ pod
+			{Name: "DevLink", Bandwidth: 300e9, Latency: 1e-6}, // dev ↔ pod switch
+		},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sys
+}
+
+func main() {
+	axes := []int{16, 8} // data parallelism × parameter shards
+	const payload = 2e9  // 2 GB gradients per device
+
+	for _, podBW := range []float64{32e9, 128e9, 512e9} {
+		sys := buildSystem(podBW)
+		fmt.Printf("\n=== %s: %v ===\n", sys.Name, sys)
+		matrices, err := p2.Placements(sys, axes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("placements for %v: %d\n", axes, len(matrices))
+		fmt.Printf("%-26s %16s %16s %10s\n",
+			"matrix", "AllReduce (s)", "best synth (s)", "speedup")
+
+		// Project the data-parallel gradient reduction for each placement.
+		bestTotal, bestMatrix := -1.0, ""
+		for _, m := range matrices {
+			plan, err := p2.Plan(sys, p2.Request{
+				Axes: axes, ReduceAxes: []int{0}, Matrix: m, Bytes: payload,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			base := plan.BaselineFor(m)
+			best := plan.Best()
+			fmt.Printf("%-26v %16.3f %16.3f %9.2f×\n",
+				m, base.Predicted, best.Predicted, base.Predicted/best.Predicted)
+			if bestTotal < 0 || best.Predicted < bestTotal {
+				bestTotal = best.Predicted
+				bestMatrix = m.String()
+			}
+		}
+		fmt.Printf("projected best: %s at %.3f s\n", bestMatrix, bestTotal)
+	}
+}

@@ -1,0 +1,183 @@
+package collective
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestInitialState(t *testing.T) {
+	s := InitialState(4, 2)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			want := c == 2
+			if s.Get(r, c) != want {
+				t.Errorf("InitialState(4,2).Get(%d,%d) = %v, want %v", r, c, s.Get(r, c), want)
+			}
+		}
+	}
+	if got := s.Rows(); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Errorf("Rows = %v", got)
+	}
+	if s.PopCount() != 4 {
+		t.Errorf("PopCount = %d", s.PopCount())
+	}
+}
+
+func TestFullState(t *testing.T) {
+	s := FullState(5)
+	if !s.IsFull() {
+		t.Error("FullState not full")
+	}
+	if s.PopCount() != 25 {
+		t.Errorf("PopCount = %d", s.PopCount())
+	}
+	if InitialState(5, 0).IsFull() {
+		t.Error("initial state reported full")
+	}
+}
+
+func TestSetGetLargeK(t *testing.T) {
+	// k > 64 exercises multi-word rows.
+	s := NewState(100)
+	s.Set(99, 99)
+	s.Set(0, 64)
+	s.Set(50, 63)
+	if !s.Get(99, 99) || !s.Get(0, 64) || !s.Get(50, 63) {
+		t.Error("set bits not readable")
+	}
+	if s.Get(99, 98) || s.Get(1, 64) {
+		t.Error("unset bits readable")
+	}
+	if s.PopCount() != 3 {
+		t.Errorf("PopCount = %d", s.PopCount())
+	}
+}
+
+func TestRowsAndNumRows(t *testing.T) {
+	s := NewState(6)
+	s.Set(1, 3)
+	s.Set(4, 0)
+	s.Set(4, 5)
+	if got := s.Rows(); !reflect.DeepEqual(got, []int{1, 4}) {
+		t.Errorf("Rows = %v", got)
+	}
+	if s.NumRows() != 2 {
+		t.Errorf("NumRows = %d", s.NumRows())
+	}
+	if s.RowPopCount(4) != 2 {
+		t.Errorf("RowPopCount(4) = %d", s.RowPopCount(4))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := InitialState(4, 1)
+	c := s.Clone()
+	c.Set(0, 0)
+	if s.Get(0, 0) {
+		t.Error("Clone shares storage")
+	}
+	if !c.Get(0, 1) {
+		t.Error("Clone lost bits")
+	}
+}
+
+func TestSubsetRelations(t *testing.T) {
+	a := InitialState(4, 0)
+	b := a.Clone()
+	b.Set(0, 1)
+	if !a.SubsetOf(b) || !a.StrictSubsetOf(b) {
+		t.Error("a should be strict subset of b")
+	}
+	if b.SubsetOf(a) {
+		t.Error("b is not subset of a")
+	}
+	if !a.SubsetOf(a) || a.StrictSubsetOf(a) {
+		t.Error("reflexivity broken")
+	}
+}
+
+func TestEqualDifferentK(t *testing.T) {
+	if NewState(4).Equal(NewState(5)) {
+		t.Error("states of different k reported equal")
+	}
+	if NewState(4).SubsetOf(NewState(5)) {
+		t.Error("subset across different k")
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := FullState(4)
+	s.Clear()
+	if s.PopCount() != 0 {
+		t.Error("Clear left bits")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := NewState(2)
+	s.Set(0, 1)
+	if got := s.String(); got != ".#\n.." {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestAppendWordsDeterministic(t *testing.T) {
+	s := InitialState(4, 2)
+	w1 := s.AppendWords(nil)
+	w2 := s.AppendWords(nil)
+	if !reflect.DeepEqual(w1, w2) {
+		t.Error("AppendWords not deterministic")
+	}
+	if len(w1) != 4 {
+		t.Errorf("want 4 words for k=4, got %d", len(w1))
+	}
+}
+
+func TestSubsetTransitivityQuick(t *testing.T) {
+	// Property: union is an upper bound — s ⊆ s∪o for random states.
+	f := func(seedA, seedB uint64) bool {
+		a, b := randomState(8, seedA), randomState(8, seedB)
+		u := a.Clone()
+		u.unionInto(b)
+		return a.SubsetOf(u) && b.SubsetOf(u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomState builds a deterministic pseudo-random state from a seed.
+func randomState(k int, seed uint64) *State {
+	s := NewState(k)
+	x := seed | 1
+	for r := 0; r < k; r++ {
+		for c := 0; c < k; c++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			if x&3 == 0 {
+				s.Set(r, c)
+			}
+		}
+	}
+	return s
+}
+
+func TestStatePanicsOutOfRange(t *testing.T) {
+	s := NewState(4)
+	for _, fn := range []func(){
+		func() { s.Set(4, 0) },
+		func() { s.Set(0, -1) },
+		func() { s.Get(-1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

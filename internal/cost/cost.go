@@ -1,0 +1,283 @@
+// Package cost implements the analytic performance simulator of §5 of the
+// P² paper. It predicts the runtime of a lowered reduction program on a
+// hierarchical system from the topology's bandwidths and latencies alone.
+//
+// The model is traffic-based: every collective is expanded into the ring or
+// tree schedule NCCL would use (selected by Algorithm, the paper's
+// NCCL_ALGO), each schedule edge is routed through the uplinks it
+// traverses, and per-uplink traffic is summed across all groups of a step
+// so that shared links (e.g. the single NIC of a node) become contended
+// resources. A step's time is the most-loaded link's transfer time plus a
+// pipeline-rounds latency term; the program's time is the sum over its
+// steps (steps are barriers, as XLA executes them).
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"p2/internal/collective"
+	"p2/internal/lower"
+	"p2/internal/topology"
+)
+
+// Algorithm selects the NCCL collective algorithm being modelled.
+type Algorithm int
+
+const (
+	// Ring is NCCL's ring schedule.
+	Ring Algorithm = iota
+	// Tree is NCCL's tree schedule (double binary tree approximated by a
+	// single hierarchical tree per group: intra-node chains, inter-node
+	// binary tree).
+	Tree
+	// HalvingDoubling is the recursive halving/doubling AllReduce — an
+	// extension beyond the paper's Ring/Tree evaluation. It is
+	// bandwidth-optimal with only 2·log2(g) rounds, but its long-distance
+	// exchanges cross slow links with large halves, so it loses to ring
+	// on hierarchical networks for big payloads and wins on latency-bound
+	// small ones. Groups whose size is not a power of two fall back to
+	// ring.
+	HalvingDoubling
+)
+
+// Algorithms lists the paper's two evaluated algorithms in canonical
+// order; ExtendedAlgorithms adds the halving-doubling extension.
+var (
+	Algorithms         = []Algorithm{Ring, Tree}
+	ExtendedAlgorithms = []Algorithm{Ring, Tree, HalvingDoubling}
+)
+
+// String names the algorithm as in the paper's tables.
+func (a Algorithm) String() string {
+	switch a {
+	case Ring:
+		return "Ring"
+	case Tree:
+		return "Tree"
+	case HalvingDoubling:
+		return "HalvingDoubling"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm parses "Ring", "Tree" or "HalvingDoubling"
+// (case-sensitive).
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "Ring":
+		return Ring, nil
+	case "Tree":
+		return Tree, nil
+	case "HalvingDoubling":
+		return HalvingDoubling, nil
+	}
+	return 0, fmt.Errorf("cost: unknown algorithm %q", s)
+}
+
+// Model is an analytic cost model for one system, algorithm and payload.
+type Model struct {
+	// Sys is the hierarchical system; its device count must match the
+	// programs evaluated.
+	Sys *topology.System
+	// Algo is the collective algorithm NCCL is pinned to.
+	Algo Algorithm
+	// Bytes is the per-device payload size in bytes (the gradient being
+	// reduced). The paper uses 2^29 × nodes float32 values.
+	Bytes float64
+}
+
+// edge is one point-to-point transfer of the expanded schedule.
+type edge struct {
+	a, b  int
+	bytes float64
+}
+
+// linkKey identifies an uplink resource: the link from entity `entity` at
+// hierarchy level `level` toward its parent.
+type linkKey struct {
+	level  int
+	entity int
+}
+
+// StepTime predicts the duration of one lowered step.
+func (m *Model) StepTime(st lower.Step) float64 {
+	perDevice := st.FracIn() * m.Bytes
+	traffic := map[linkKey]float64{}
+	maxRounds := 0
+	maxLatency := 0.0
+	for _, g := range st.Groups {
+		edges, rounds := m.schedule(st.Op, g, perDevice)
+		if rounds > maxRounds {
+			maxRounds = rounds
+		}
+		for _, e := range edges {
+			ldiv := m.Sys.DivergenceLevel(e.a, e.b)
+			if ldiv < 0 {
+				continue
+			}
+			if lat := m.Sys.Uplinks[ldiv].Latency; lat > maxLatency {
+				maxLatency = lat
+			}
+			for l := ldiv; l < m.Sys.NumLevels(); l++ {
+				traffic[linkKey{l, m.Sys.EntityID(e.a, l)}] += e.bytes
+				traffic[linkKey{l, m.Sys.EntityID(e.b, l)}] += e.bytes
+			}
+		}
+	}
+	worst := 0.0
+	for k, bytes := range traffic {
+		if t := bytes / m.Sys.Uplinks[k.level].Bandwidth; t > worst {
+			worst = t
+		}
+	}
+	return worst + float64(maxRounds)*maxLatency
+}
+
+// ProgramTime predicts the end-to-end duration of a lowered program: the
+// sum of its step times (steps are global barriers).
+func (m *Model) ProgramTime(p *lower.Program) float64 {
+	total := 0.0
+	for _, st := range p.Steps {
+		total += m.StepTime(st)
+	}
+	return total
+}
+
+// schedule expands one group's collective into transfer edges plus the
+// number of pipeline rounds (for the latency term). perDevice is the input
+// payload bytes held by each participant.
+func (m *Model) schedule(op collective.Op, g []int, perDevice float64) ([]edge, int) {
+	n := len(g)
+	switch op {
+	case collective.AllReduce:
+		if m.Algo == Tree {
+			return m.treeEdges(g, 2*perDevice), 2 * logRounds(n)
+		}
+		if m.Algo == HalvingDoubling && isPow2(n) {
+			return hdEdges(g, perDevice), 2 * logRounds(n)
+		}
+		return ringEdges(g, 2*float64(n-1)/float64(n)*perDevice), 2 * (n - 1)
+	case collective.ReduceScatter:
+		// NCCL implements ReduceScatter with a ring regardless of algo.
+		return ringEdges(g, float64(n-1)/float64(n)*perDevice), n - 1
+	case collective.AllGather:
+		// Each device holds perDevice and must collect n-1 more shards.
+		return ringEdges(g, float64(n-1)*perDevice), n - 1
+	case collective.Reduce:
+		if m.Algo != Ring {
+			return m.treeEdges(g, perDevice), logRounds(n)
+		}
+		return chainEdges(g, perDevice), n - 1
+	case collective.Broadcast:
+		if m.Algo != Ring {
+			return m.treeEdges(g, perDevice), logRounds(n)
+		}
+		return chainEdges(g, perDevice), n - 1
+	default:
+		panic(fmt.Sprintf("cost: unknown op %v", op))
+	}
+}
+
+// ringEdges returns the n directed neighbor links of a ring over g, each
+// carrying `bytes`.
+func ringEdges(g []int, bytes float64) []edge {
+	edges := make([]edge, 0, len(g))
+	for i := range g {
+		edges = append(edges, edge{g[i], g[(i+1)%len(g)], bytes})
+	}
+	return edges
+}
+
+// chainEdges returns the n-1 links of the pipeline chain rooted at g[0].
+func chainEdges(g []int, bytes float64) []edge {
+	edges := make([]edge, 0, len(g)-1)
+	for i := 1; i < len(g); i++ {
+		edges = append(edges, edge{g[i-1], g[i], bytes})
+	}
+	return edges
+}
+
+// treeEdges returns the links of a hierarchical tree over the group, each
+// carrying `bytes`: members are partitioned by their entity at the group's
+// span level, each partition is connected by a chain (NCCL's intra-node
+// tree is a chain), and the partition heads form a balanced binary tree
+// (NCCL's inter-node double binary tree, approximated by a single tree).
+// For groups with one member per entity this degenerates to a plain binary
+// tree.
+func (m *Model) treeEdges(g []int, bytes float64) []edge {
+	edges := make([]edge, 0, len(g)-1)
+	for _, pair := range TreeLinks(m.Sys, g) {
+		edges = append(edges, edge{pair[0], pair[1], bytes})
+	}
+	return edges
+}
+
+// TreeLinks returns the (parent, child) pairs of the hierarchical tree the
+// Tree algorithm uses over a device group; shared with the event-level
+// emulator so both simulators model the same schedule.
+func TreeLinks(sys *topology.System, g []int) [][2]int {
+	span := sys.GroupSpanLevel(g)
+	if span < 0 {
+		return nil
+	}
+	// Partition members by their span-level entity, in group order.
+	var parts [][]int
+	idx := map[int]int{}
+	for _, d := range g {
+		e := sys.EntityID(d, span)
+		if p, ok := idx[e]; ok {
+			parts[p] = append(parts[p], d)
+		} else {
+			idx[e] = len(parts)
+			parts = append(parts, []int{d})
+		}
+	}
+	out := make([][2]int, 0, len(g)-1)
+	// Binary tree across partition heads.
+	for i := 1; i < len(parts); i++ {
+		out = append(out, [2]int{parts[(i-1)/2][0], parts[i][0]})
+	}
+	// Chain within each partition.
+	for _, p := range parts {
+		for j := 1; j < len(p); j++ {
+			out = append(out, [2]int{p[j-1], p[j]})
+		}
+	}
+	return out
+}
+
+// hdEdges expands recursive halving (reduce-scatter phase) plus recursive
+// doubling (all-gather phase): in round r, member i exchanges D/2^(r+1)
+// with the member whose group index is i XOR 2^r; the doubling phase
+// mirrors the halving phase, so every exchanged quantity is counted twice.
+func hdEdges(g []int, perDevice float64) []edge {
+	n := len(g)
+	var edges []edge
+	for r := 0; 1<<r < n; r++ {
+		bytes := 2 * perDevice / float64(int(2)<<r) // halving + doubling phases
+		for i := 0; i < n; i++ {
+			j := i ^ (1 << r)
+			if j > i {
+				// Both directions run concurrently in each phase.
+				edges = append(edges,
+					edge{g[i], g[j], bytes},
+					edge{g[j], g[i], bytes})
+			}
+		}
+	}
+	return edges
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func logRounds(n int) int {
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+// PayloadBytes returns the paper's experiment payload for a node count:
+// 2^29 × nodes float32 values per GPU (§4).
+func PayloadBytes(nodes int) float64 {
+	return float64(uint64(1)<<29) * float64(nodes) * 4
+}

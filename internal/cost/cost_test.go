@@ -1,0 +1,222 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"p2/internal/collective"
+	"p2/internal/dsl"
+	"p2/internal/hierarchy"
+	"p2/internal/lower"
+	"p2/internal/placement"
+	"p2/internal/synth"
+	"p2/internal/topology"
+)
+
+// lowerFor builds the lowered program for a matrix, reduction axes and DSL
+// program on the A100 4-node system.
+func lowerFor(t *testing.T, hier, axes []int, rows [][]int, red []int, p dsl.Program) *lower.Program {
+	t.Helper()
+	m, err := placement.NewMatrix(hier, axes, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, red, hierarchy.Options{Collapse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := lower.Lower(p, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lp
+}
+
+func approx(got, want, tol float64) bool {
+	return math.Abs(got-want) <= tol*want
+}
+
+func TestPayloadBytes(t *testing.T) {
+	// 2^29 floats × 4 bytes × nodes.
+	if got := PayloadBytes(1); got != 4*(1<<29) {
+		t.Errorf("PayloadBytes(1) = %v", got)
+	}
+	if got := PayloadBytes(4); got != 16*(1<<29) {
+		t.Errorf("PayloadBytes(4) = %v", got)
+	}
+}
+
+// TestWithinNodeAllReduce reproduces the B1 configuration of Table 3:
+// matrix [[1 4] [4 4]] on 4-node A100, reduction on axis 0 — groups of 4
+// GPUs inside a node over the NVSwitch. Expected analytic time:
+// each ring edge carries 2·(3/4)·D, each GPU uplink two edges → 3D, at
+// 270 GB/s with D ≈ 8.59 GB → ≈ 0.095 s (paper measures 0.15 s).
+func TestWithinNodeAllReduce(t *testing.T) {
+	lp := lowerFor(t, []int{4, 16}, []int{4, 16}, [][]int{{1, 4}, {4, 4}}, []int{0},
+		synth.BaselineAllReduce())
+	m := &Model{Sys: topology.A100System(4), Algo: Ring, Bytes: PayloadBytes(4)}
+	got := m.ProgramTime(lp)
+	d := PayloadBytes(4)
+	want := 3 * d / topology.A100SwitchBandwidth
+	if !approx(got, want, 0.02) {
+		t.Errorf("within-node AllReduce = %v s, want ≈ %v s", got, want)
+	}
+}
+
+// TestCrossNodeAllReduce reproduces B3 of Table 3: matrix [[4 1] [1 16]]
+// with reduction on axis 0 — 16 groups of 4, one member per node, all
+// contending for each node's single 8 GB/s NIC. Expected:
+// per group a node carries 2 edges × 1.5·D = 3D; 16 groups → 48D ≈ 412 GB
+// per NIC → ≈ 51.5 s (paper measures 56.1 s).
+func TestCrossNodeAllReduce(t *testing.T) {
+	lp := lowerFor(t, []int{4, 16}, []int{4, 16}, [][]int{{4, 1}, {1, 16}}, []int{0},
+		synth.BaselineAllReduce())
+	m := &Model{Sys: topology.A100System(4), Algo: Ring, Bytes: PayloadBytes(4)}
+	got := m.ProgramTime(lp)
+	d := PayloadBytes(4)
+	want := 48 * d / topology.NICBandwidth
+	if !approx(got, want, 0.02) {
+		t.Errorf("cross-node AllReduce = %v s, want ≈ %v s", got, want)
+	}
+}
+
+// TestPlacementImpact is the paper's Result 1: the same reduction differs
+// by orders of magnitude between the best and worst placement (up to 448×
+// in Table 3).
+func TestPlacementImpact(t *testing.T) {
+	within := lowerFor(t, []int{4, 16}, []int{4, 16}, [][]int{{1, 4}, {4, 4}}, []int{0},
+		synth.BaselineAllReduce())
+	cross := lowerFor(t, []int{4, 16}, []int{4, 16}, [][]int{{4, 1}, {1, 16}}, []int{0},
+		synth.BaselineAllReduce())
+	m := &Model{Sys: topology.A100System(4), Algo: Ring, Bytes: PayloadBytes(4)}
+	ratio := m.ProgramTime(cross) / m.ProgramTime(within)
+	if ratio < 100 {
+		t.Errorf("placement impact ratio = %.1f, want > 100", ratio)
+	}
+}
+
+// TestHierarchicalProgramBeatsAllReduce is the paper's Result 5: for
+// cross-node reductions, ReduceScatter-AllReduce-AllGather outperforms the
+// single AllReduce (B2: 28.8 s → 18.2 s, 1.57×).
+func TestHierarchicalProgramBeatsAllReduce(t *testing.T) {
+	rows := [][]int{{2, 2}, {2, 8}}
+	baseline := lowerFor(t, []int{4, 16}, []int{4, 16}, rows, []int{0},
+		synth.BaselineAllReduce())
+	rsarag := lowerFor(t, []int{4, 16}, []int{4, 16}, rows, []int{0}, dsl.Program{
+		{Slice: 1, Form: dsl.InsideGroup, Op: collective.ReduceScatter},
+		{Slice: 1, Form: dsl.Parallel, Arg: 0, Op: collective.AllReduce},
+		{Slice: 1, Form: dsl.InsideGroup, Op: collective.AllGather},
+	})
+	m := &Model{Sys: topology.A100System(4), Algo: Ring, Bytes: PayloadBytes(4)}
+	tBase := m.ProgramTime(baseline)
+	tOpt := m.ProgramTime(rsarag)
+	speedup := tBase / tOpt
+	if speedup < 1.2 || speedup > 2.5 {
+		t.Errorf("RS-AR-AG speedup = %.2f, want in [1.2, 2.5] (paper: 1.57)", speedup)
+	}
+}
+
+// TestV100CrossNodeRing reproduces L1 of Table 4: a single 32-wide ring
+// AllReduce on 4-node V100 costs ≈ 2 cross edges × 2·(31/32)·D per NIC
+// ≈ 4.15 s (paper measures 4.83 s).
+func TestV100CrossNodeRing(t *testing.T) {
+	lp := lowerFor(t, []int{4, 8}, []int{32}, [][]int{{4, 8}}, []int{0},
+		synth.BaselineAllReduce())
+	m := &Model{Sys: topology.V100System(4), Algo: Ring, Bytes: PayloadBytes(4)}
+	got := m.ProgramTime(lp)
+	d := PayloadBytes(4)
+	want := 2 * 2 * (31.0 / 32.0) * d / topology.NICBandwidth
+	if !approx(got, want, 0.02) {
+		t.Errorf("V100 32-ring = %v s, want ≈ %v s", got, want)
+	}
+}
+
+func TestTreeVsRingWithinNode(t *testing.T) {
+	// Within a node the tree root's uplink carries 2 edges × 2D = 4D vs
+	// the ring's 3D, so tree is moderately slower — matching the paper's
+	// B1 ring 0.15 vs tree 0.20.
+	lp := lowerFor(t, []int{4, 16}, []int{4, 16}, [][]int{{1, 4}, {4, 4}}, []int{0},
+		synth.BaselineAllReduce())
+	sys := topology.A100System(4)
+	ring := &Model{Sys: sys, Algo: Ring, Bytes: PayloadBytes(4)}
+	tree := &Model{Sys: sys, Algo: Tree, Bytes: PayloadBytes(4)}
+	r, tr := ring.ProgramTime(lp), tree.ProgramTime(lp)
+	if tr <= r {
+		t.Errorf("tree (%v) should be slower than ring (%v) within a node", tr, r)
+	}
+	if tr > 2*r {
+		t.Errorf("tree (%v) should be within 2× of ring (%v)", tr, r)
+	}
+}
+
+func TestReduceScatterCheaperThanAllReduce(t *testing.T) {
+	lp := lowerFor(t, []int{4, 16}, []int{4, 16}, [][]int{{1, 4}, {4, 4}}, []int{0},
+		dsl.Program{{Slice: 0, Form: dsl.InsideGroup, Op: collective.ReduceScatter}})
+	ar := lowerFor(t, []int{4, 16}, []int{4, 16}, [][]int{{1, 4}, {4, 4}}, []int{0},
+		synth.BaselineAllReduce())
+	m := &Model{Sys: topology.A100System(4), Algo: Ring, Bytes: PayloadBytes(4)}
+	if rs, full := m.ProgramTime(lp), m.ProgramTime(ar); rs >= full {
+		t.Errorf("ReduceScatter (%v) should cost less than AllReduce (%v)", rs, full)
+	}
+}
+
+func TestStepTimePositiveForAllOps(t *testing.T) {
+	// Every op on every algorithm must produce a positive finite time.
+	m := &Model{Sys: topology.A100System(2), Algo: Ring, Bytes: 1e9}
+	h, err := hierarchy.Build(hierarchy.KindReductionAxes,
+		placement.MustMatrix([]int{2, 16}, []int{4, 8}, [][]int{{2, 2}, {1, 8}}),
+		[]int{0}, hierarchy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := synth.Synthesize(h, synth.Options{})
+	for _, algo := range Algorithms {
+		m.Algo = algo
+		for _, p := range res.Programs {
+			lp, err := lower.Lower(p, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tt := m.ProgramTime(lp)
+			if tt <= 0 || math.IsInf(tt, 0) || math.IsNaN(tt) {
+				t.Errorf("%v/%v: time = %v", algo, p, tt)
+			}
+		}
+	}
+}
+
+func TestCostScalesLinearlyWithBytes(t *testing.T) {
+	lp := lowerFor(t, []int{4, 16}, []int{4, 16}, [][]int{{1, 4}, {4, 4}}, []int{0},
+		synth.BaselineAllReduce())
+	sys := topology.A100System(4)
+	small := &Model{Sys: sys, Algo: Ring, Bytes: 1e9}
+	large := &Model{Sys: sys, Algo: Ring, Bytes: 2e9}
+	ratio := large.ProgramTime(lp) / small.ProgramTime(lp)
+	if !approx(ratio, 2.0, 0.01) {
+		t.Errorf("doubling bytes scaled time by %.3f, want ≈ 2", ratio)
+	}
+}
+
+func TestAlgorithmStringParse(t *testing.T) {
+	for _, a := range Algorithms {
+		back, err := ParseAlgorithm(a.String())
+		if err != nil || back != a {
+			t.Errorf("ParseAlgorithm(%v) = %v, %v", a, back, err)
+		}
+	}
+	if _, err := ParseAlgorithm("ring"); err == nil {
+		t.Error("lowercase accepted")
+	}
+}
+
+func TestLatencyTermSmallButPresent(t *testing.T) {
+	// With a tiny payload, latency dominates; ring rounds × link latency.
+	lp := lowerFor(t, []int{4, 16}, []int{4, 16}, [][]int{{4, 1}, {1, 16}}, []int{0},
+		synth.BaselineAllReduce())
+	m := &Model{Sys: topology.A100System(4), Algo: Ring, Bytes: 1}
+	got := m.ProgramTime(lp)
+	// 2(g-1) = 6 rounds over the NIC (20 µs latency) = 120 µs floor.
+	if got < 6*topology.NICLatency {
+		t.Errorf("latency floor missing: %v", got)
+	}
+}

@@ -1,0 +1,124 @@
+package cost
+
+import (
+	"testing"
+
+	"p2/internal/dsl"
+	"p2/internal/hierarchy"
+	"p2/internal/lower"
+	"p2/internal/placement"
+	"p2/internal/synth"
+	"p2/internal/topology"
+)
+
+// lowerForMatrix lowers a program for an already-built matrix.
+func lowerForMatrix(t *testing.T, m *placement.Matrix, red []int, p dsl.Program) *lower.Program {
+	t.Helper()
+	h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, red, hierarchy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := lower.Lower(p, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lp
+}
+
+func TestHalvingDoublingWithinNodeMatchesRingBandwidth(t *testing.T) {
+	// HD and ring are both bandwidth-optimal: within one node (uniform
+	// bandwidth), the total traffic per device uplink is identical —
+	// 2·(g-1)/g·D in and out. Times should agree closely.
+	lp := lowerFor(t, []int{4, 16}, []int{4, 16}, [][]int{{1, 4}, {4, 4}}, []int{0},
+		synth.BaselineAllReduce())
+	sys := topology.A100System(4)
+	ring := &Model{Sys: sys, Algo: Ring, Bytes: PayloadBytes(4)}
+	hd := &Model{Sys: sys, Algo: HalvingDoubling, Bytes: PayloadBytes(4)}
+	r, h := ring.ProgramTime(lp), hd.ProgramTime(lp)
+	if h < r*0.9 || h > r*1.1 {
+		t.Errorf("HD within node = %v, ring = %v; want within 10%%", h, r)
+	}
+}
+
+func TestHalvingDoublingAllRemoteMatchesRing(t *testing.T) {
+	// For a group with one member per node, every HD exchange crosses the
+	// NIC and the total bytes equal the ring's (both are
+	// bandwidth-optimal), so large-payload times differ only by the
+	// latency term (HD has fewer rounds).
+	lp := lowerFor(t, []int{4, 16}, []int{4, 16}, [][]int{{4, 1}, {1, 16}}, []int{0},
+		synth.BaselineAllReduce())
+	sys := topology.A100System(4)
+	ring := &Model{Sys: sys, Algo: Ring, Bytes: PayloadBytes(4)}
+	hd := &Model{Sys: sys, Algo: HalvingDoubling, Bytes: PayloadBytes(4)}
+	h, r := hd.ProgramTime(lp), ring.ProgramTime(lp)
+	if h > r {
+		t.Errorf("HD all-remote (%v) should not exceed ring (%v)", h, r)
+	}
+	if h < r*0.99 {
+		t.Errorf("HD all-remote (%v) should be within 1%% of ring (%v)", h, r)
+	}
+}
+
+func TestHalvingDoublingExploitsLocality(t *testing.T) {
+	// For a mixed local/remote group ([[2 2] [2 8]]: 2 GPUs per node in
+	// each group), HD's early small exchanges stay local and only D/4
+	// halves cross the NIC — like the synthesized hierarchical programs,
+	// it beats the hierarchy-oblivious ring.
+	lp := lowerFor(t, []int{4, 16}, []int{4, 16}, [][]int{{2, 2}, {2, 8}}, []int{0},
+		synth.BaselineAllReduce())
+	sys := topology.A100System(4)
+	ring := &Model{Sys: sys, Algo: Ring, Bytes: PayloadBytes(4)}
+	hd := &Model{Sys: sys, Algo: HalvingDoubling, Bytes: PayloadBytes(4)}
+	h, r := hd.ProgramTime(lp), ring.ProgramTime(lp)
+	if h >= r*0.9 {
+		t.Errorf("HD mixed-group (%v) should clearly beat ring (%v)", h, r)
+	}
+}
+
+func TestHalvingDoublingWinsLatencyBound(t *testing.T) {
+	// With a tiny payload the latency term dominates: HD has 2·log2(g)
+	// rounds vs ring's 2(g-1).
+	lp := lowerFor(t, []int{4, 16}, []int{4, 16}, [][]int{{4, 1}, {1, 16}}, []int{0},
+		synth.BaselineAllReduce())
+	sys := topology.A100System(4)
+	ring := &Model{Sys: sys, Algo: Ring, Bytes: 64}
+	hd := &Model{Sys: sys, Algo: HalvingDoubling, Bytes: 64}
+	if h, r := hd.ProgramTime(lp), ring.ProgramTime(lp); h >= r {
+		t.Errorf("HD latency-bound (%v) should beat ring (%v)", h, r)
+	}
+}
+
+func TestHalvingDoublingFallsBackOnNonPow2(t *testing.T) {
+	// A 3-wide group cannot run HD; the model must fall back to ring
+	// rather than panic or miscount.
+	m := placement.MustMatrix([]int{3, 4}, []int{3, 4}, [][]int{{3, 1}, {1, 4}})
+	sys, err := topology.New("odd",
+		[]topology.Level{{Name: "node", Count: 3}, {Name: "gpu", Count: 4}},
+		[]topology.Link{
+			{Name: "NIC", Bandwidth: 8e9, Latency: 2e-5},
+			{Name: "NVL", Bandwidth: 200e9, Latency: 2e-6},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sys
+	lpFull := lowerForMatrix(t, m, []int{0}, synth.BaselineAllReduce())
+	ring := &Model{Sys: sys, Algo: Ring, Bytes: 1e9}
+	hd := &Model{Sys: sys, Algo: HalvingDoubling, Bytes: 1e9}
+	if r, h := ring.ProgramTime(lpFull), hd.ProgramTime(lpFull); r != h {
+		t.Errorf("non-pow2 HD (%v) should equal ring (%v)", h, r)
+	}
+}
+
+func TestParseHalvingDoubling(t *testing.T) {
+	a, err := ParseAlgorithm("HalvingDoubling")
+	if err != nil || a != HalvingDoubling {
+		t.Errorf("ParseAlgorithm = %v, %v", a, err)
+	}
+	if HalvingDoubling.String() != "HalvingDoubling" {
+		t.Error("String mismatch")
+	}
+	if len(ExtendedAlgorithms) != 3 {
+		t.Error("ExtendedAlgorithms should have 3 entries")
+	}
+}

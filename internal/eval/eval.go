@@ -1,0 +1,294 @@
+// Package eval is the experiment harness reproducing the paper's
+// evaluation (§4–§5): it sweeps every parallelism matrix for a requested
+// axis configuration, synthesizes every reduction program per matrix,
+// predicts each program's runtime with the analytic model (internal/cost)
+// and "measures" it on the event-level emulator (internal/netsim), then
+// derives the quantities the paper reports — optimal programs, speedups
+// over AllReduce, outperforming counts, and simulator top-k accuracy.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"p2/internal/cost"
+	"p2/internal/dsl"
+	"p2/internal/hierarchy"
+	"p2/internal/lower"
+	"p2/internal/netsim"
+	"p2/internal/placement"
+	"p2/internal/synth"
+	"p2/internal/topology"
+)
+
+// Config is one experiment cell: a system, an axis configuration, the
+// reduction axes, and the NCCL algorithm.
+type Config struct {
+	Sys        *topology.System
+	Axes       []int
+	ReduceAxes []int
+	Algo       cost.Algorithm
+	// Bytes is the per-device payload; 0 means the paper's default
+	// (2^29 × nodes float32, with "nodes" = the root level count).
+	Bytes float64
+	// Synth carries synthesizer options (zero value = paper defaults).
+	Synth synth.Options
+	// Hier carries hierarchy options; Collapse is forced on for
+	// multi-axis reductions as in §2.5 unless explicitly configured via
+	// RawHier.
+	RawHier bool
+	Hier    hierarchy.Options
+	// NetsimOpts tunes the emulator (zero value = defaults).
+	NetsimOpts netsim.Options
+}
+
+func (c Config) payload() float64 {
+	if c.Bytes > 0 {
+		return c.Bytes
+	}
+	return cost.PayloadBytes(c.Sys.Levels[0].Count)
+}
+
+func (c Config) hierOpts() hierarchy.Options {
+	if c.RawHier {
+		return c.Hier
+	}
+	o := c.Hier
+	if len(c.ReduceAxes) > 1 {
+		o.Collapse = true
+	}
+	return o
+}
+
+// String identifies the config, e.g. "a100-4node/[16 2 2]/red[0 2]/Ring".
+func (c Config) String() string {
+	return fmt.Sprintf("%s/%v/red%v/%s", c.Sys.Name, c.Axes, c.ReduceAxes, c.Algo)
+}
+
+// ProgramResult is one synthesized program with its predicted and measured
+// runtimes.
+type ProgramResult struct {
+	Program   dsl.Program
+	Lowered   *lower.Program
+	Predicted float64 // analytic model, seconds
+	Measured  float64 // event-level emulator, seconds
+}
+
+// MatrixResult groups the programs synthesized for one parallelism matrix.
+type MatrixResult struct {
+	Matrix        *placement.Matrix
+	Hierarchy     *hierarchy.Hierarchy
+	SynthesisTime time.Duration
+	// Programs in synthesis order; Programs[BaselineIdx] is the
+	// single-step AllReduce.
+	Programs    []ProgramResult
+	BaselineIdx int
+}
+
+// Baseline returns the single-AllReduce result.
+func (mr *MatrixResult) Baseline() ProgramResult { return mr.Programs[mr.BaselineIdx] }
+
+// BestMeasured returns the index of the measured-fastest program.
+func (mr *MatrixResult) BestMeasured() int {
+	best := 0
+	for i, p := range mr.Programs {
+		if p.Measured < mr.Programs[best].Measured {
+			best = i
+		}
+	}
+	return best
+}
+
+// BestPredicted returns the index of the predicted-fastest program.
+func (mr *MatrixResult) BestPredicted() int {
+	best := 0
+	for i, p := range mr.Programs {
+		if p.Predicted < mr.Programs[best].Predicted {
+			best = i
+		}
+	}
+	return best
+}
+
+// Speedup is the baseline-over-optimal measured ratio (≥ ~1).
+func (mr *MatrixResult) Speedup() float64 {
+	return mr.Baseline().Measured / mr.Programs[mr.BestMeasured()].Measured
+}
+
+// Outperforming counts programs measured strictly faster than the baseline
+// AllReduce.
+func (mr *MatrixResult) Outperforming() int {
+	base := mr.Baseline().Measured
+	n := 0
+	for _, p := range mr.Programs {
+		if p.Measured < base {
+			n++
+		}
+	}
+	return n
+}
+
+// Result is a full sweep for one config.
+type Result struct {
+	Config   Config
+	Matrices []*MatrixResult
+	// SynthesisTime is the summed synthesis wall-clock across matrices.
+	SynthesisTime time.Duration
+	// SimulationTime is the wall-clock spent in the analytic model.
+	SimulationTime time.Duration
+	// MeasureTime is the wall-clock spent in the emulator.
+	MeasureTime time.Duration
+}
+
+// TotalPrograms sums program counts over all matrices.
+func (r *Result) TotalPrograms() int {
+	n := 0
+	for _, mr := range r.Matrices {
+		n += len(mr.Programs)
+	}
+	return n
+}
+
+// TotalOutperforming sums Outperforming over all matrices.
+func (r *Result) TotalOutperforming() int {
+	n := 0
+	for _, mr := range r.Matrices {
+		n += mr.Outperforming()
+	}
+	return n
+}
+
+// Pair is a flattened (matrix, program) entry used for ranking.
+type Pair struct {
+	MatrixIdx  int
+	ProgramIdx int
+	Predicted  float64
+	Measured   float64
+}
+
+// Pairs flattens the sweep into ranking entries.
+func (r *Result) Pairs() []Pair {
+	var out []Pair
+	for mi, mr := range r.Matrices {
+		for pi, p := range mr.Programs {
+			out = append(out, Pair{mi, pi, p.Predicted, p.Measured})
+		}
+	}
+	return out
+}
+
+// TopKHit reports whether the measured-best pair of the sweep is among the
+// k best-predicted pairs (the paper's top-k accuracy criterion, §5).
+func (r *Result) TopKHit(k int) bool {
+	pairs := r.Pairs()
+	if len(pairs) == 0 {
+		return false
+	}
+	best := 0
+	for i, p := range pairs {
+		if p.Measured < pairs[best].Measured {
+			best = i
+		}
+	}
+	byPred := make([]int, len(pairs))
+	for i := range byPred {
+		byPred[i] = i
+	}
+	sort.SliceStable(byPred, func(a, b int) bool {
+		return pairs[byPred[a]].Predicted < pairs[byPred[b]].Predicted
+	})
+	for rank := 0; rank < k && rank < len(byPred); rank++ {
+		if byPred[rank] == best {
+			return true
+		}
+	}
+	return false
+}
+
+// Accuracy summarizes top-k accuracy over many sweeps (Table 5).
+func Accuracy(results []*Result, ks []int) map[int]float64 {
+	out := map[int]float64{}
+	if len(results) == 0 {
+		return out
+	}
+	for _, k := range ks {
+		hits := 0
+		for _, r := range results {
+			if r.TopKHit(k) {
+				hits++
+			}
+		}
+		out[k] = float64(hits) / float64(len(results))
+	}
+	return out
+}
+
+// Run executes the full sweep for a config: enumerate matrices, synthesize
+// per matrix, lower, predict, measure.
+func Run(cfg Config) (*Result, error) {
+	matrices, err := placement.Enumerate(cfg.Sys.Hierarchy(), cfg.Axes)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Config: cfg}
+	model := &cost.Model{Sys: cfg.Sys, Algo: cfg.Algo, Bytes: cfg.payload()}
+	sim := &netsim.Simulator{Sys: cfg.Sys, Algo: cfg.Algo, Bytes: cfg.payload(), Opts: cfg.NetsimOpts}
+	baselineStr := synth.BaselineAllReduce().String()
+	for _, m := range matrices {
+		h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, cfg.ReduceAxes, cfg.hierOpts())
+		if err != nil {
+			return nil, err
+		}
+		sres := synth.Synthesize(h, cfg.Synth)
+		mr := &MatrixResult{
+			Matrix:        m,
+			Hierarchy:     h,
+			SynthesisTime: sres.Elapsed,
+			BaselineIdx:   -1,
+		}
+		res.SynthesisTime += sres.Elapsed
+		for _, p := range sres.Programs {
+			lp, err := lower.Lower(p, h)
+			if err != nil {
+				return nil, fmt.Errorf("eval: lowering %v for %v: %w", p, m, err)
+			}
+			t0 := time.Now()
+			pred := model.ProgramTime(lp)
+			res.SimulationTime += time.Since(t0)
+			t1 := time.Now()
+			meas := sim.Measure(lp)
+			res.MeasureTime += time.Since(t1)
+			if p.String() == baselineStr {
+				mr.BaselineIdx = len(mr.Programs)
+			}
+			mr.Programs = append(mr.Programs, ProgramResult{
+				Program:   p,
+				Lowered:   lp,
+				Predicted: pred,
+				Measured:  meas,
+			})
+		}
+		if mr.BaselineIdx < 0 {
+			return nil, fmt.Errorf("eval: baseline AllReduce not synthesized for %v", m)
+		}
+		res.Matrices = append(res.Matrices, mr)
+	}
+	return res, nil
+}
+
+// MeasureBaseline runs only the single-AllReduce program for one matrix —
+// the Table 3 quantity — returning (predicted, measured) seconds.
+func MeasureBaseline(cfg Config, m *placement.Matrix) (float64, float64, error) {
+	h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, cfg.ReduceAxes, cfg.hierOpts())
+	if err != nil {
+		return 0, 0, err
+	}
+	lp, err := lower.Lower(synth.BaselineAllReduce(), h)
+	if err != nil {
+		return 0, 0, err
+	}
+	model := &cost.Model{Sys: cfg.Sys, Algo: cfg.Algo, Bytes: cfg.payload()}
+	sim := &netsim.Simulator{Sys: cfg.Sys, Algo: cfg.Algo, Bytes: cfg.payload(), Opts: cfg.NetsimOpts}
+	return model.ProgramTime(lp), sim.Measure(lp), nil
+}

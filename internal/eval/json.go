@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The JSON export is a stable, tooling-friendly projection of sweep
+// results: program texts instead of internal structures, seconds instead
+// of durations.
+
+// ResultJSON is the serialized form of a Result.
+type ResultJSON struct {
+	System         string       `json:"system"`
+	Hierarchy      []int        `json:"hierarchy"`
+	Axes           []int        `json:"axes"`
+	ReduceAxes     []int        `json:"reduce_axes"`
+	Algorithm      string       `json:"algorithm"`
+	PayloadBytes   float64      `json:"payload_bytes"`
+	SynthesisSecs  float64      `json:"synthesis_secs"`
+	SimulationSecs float64      `json:"simulation_secs"`
+	MeasureSecs    float64      `json:"measure_secs"`
+	Matrices       []MatrixJSON `json:"matrices"`
+}
+
+// MatrixJSON is the serialized form of a MatrixResult.
+type MatrixJSON struct {
+	Matrix        string        `json:"matrix"`
+	SynthesisSecs float64       `json:"synthesis_secs"`
+	BaselineIdx   int           `json:"baseline_idx"`
+	Programs      []ProgramJSON `json:"programs"`
+}
+
+// ProgramJSON is the serialized form of a ProgramResult.
+type ProgramJSON struct {
+	Program   string  `json:"program"`
+	Steps     int     `json:"steps"`
+	Predicted float64 `json:"predicted_secs"`
+	Measured  float64 `json:"measured_secs"`
+}
+
+// ToJSON serializes sweep results as indented JSON.
+func ToJSON(results []*Result) ([]byte, error) {
+	out := make([]ResultJSON, 0, len(results))
+	for _, r := range results {
+		rj := ResultJSON{
+			System:         r.Config.Sys.Name,
+			Hierarchy:      r.Config.Sys.Hierarchy(),
+			Axes:           r.Config.Axes,
+			ReduceAxes:     r.Config.ReduceAxes,
+			Algorithm:      r.Config.Algo.String(),
+			PayloadBytes:   r.Config.payload(),
+			SynthesisSecs:  r.SynthesisTime.Seconds(),
+			SimulationSecs: r.SimulationTime.Seconds(),
+			MeasureSecs:    r.MeasureTime.Seconds(),
+		}
+		for _, mr := range r.Matrices {
+			mj := MatrixJSON{
+				Matrix:        mr.Matrix.String(),
+				SynthesisSecs: mr.SynthesisTime.Seconds(),
+				BaselineIdx:   mr.BaselineIdx,
+			}
+			for _, p := range mr.Programs {
+				mj.Programs = append(mj.Programs, ProgramJSON{
+					Program:   p.Program.String(),
+					Steps:     len(p.Lowered.Steps),
+					Predicted: p.Predicted,
+					Measured:  p.Measured,
+				})
+			}
+			rj.Matrices = append(rj.Matrices, mj)
+		}
+		out = append(out, rj)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// FromJSON parses the projection back (for downstream tools and tests).
+func FromJSON(data []byte) ([]ResultJSON, error) {
+	var out []ResultJSON
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("eval: decoding results: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,219 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"p2/internal/cost"
+	"p2/internal/placement"
+	"p2/internal/topology"
+)
+
+// Table is a rendered experiment artifact: a caption, a header row, and
+// data rows, serializable as markdown or TSV.
+type Table struct {
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Caption)
+	}
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, r := range t.Rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// TSV renders the table as tab-separated values (no caption).
+func (t *Table) TSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, "\t") + "\n")
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, "\t") + "\n")
+	}
+	return b.String()
+}
+
+func secs(v float64) string {
+	switch {
+	case v >= 10:
+		return fmt.Sprintf("%.2f", v)
+	case v >= 0.095:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// BuildTable3 reproduces Table 3: AllReduce time per parallelism matrix
+// for ring and tree, reducing on each axis of two-axis configurations.
+func BuildTable3(sys *topology.System, axesList [][]int) (*Table, error) {
+	t := &Table{
+		Caption: fmt.Sprintf("Table 3 — AllReduce reduction time in seconds on %s (%s)",
+			sys.Name, sys),
+		Header: []string{"Parallelism axes", "Parallelism matrix",
+			"Reduce axis 0 / Ring", "Reduce axis 0 / Tree",
+			"Reduce axis 1 / Ring", "Reduce axis 1 / Tree"},
+	}
+	for _, axes := range axesList {
+		matrices, err := placement.Enumerate(sys.Hierarchy(), axes)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range matrices {
+			row := []string{fmt.Sprintf("%v", axes), m.String()}
+			for _, red := range [][]int{{0}, {1}} {
+				if red[0] >= len(axes) {
+					row = append(row, "-", "-")
+					continue
+				}
+				for _, algo := range []cost.Algorithm{cost.Ring, cost.Tree} {
+					cfg := Config{Sys: sys, Axes: axes, ReduceAxes: red, Algo: algo}
+					_, meas, err := MeasureBaseline(cfg, m)
+					if err != nil {
+						return nil, err
+					}
+					row = append(row, secs(meas))
+				}
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// BuildTable4 reproduces Table 4: for every sweep, the synthesis time,
+// outperforming/total counts, and per matrix the AllReduce time, the
+// optimal synthesized program's time and the speedup.
+func BuildTable4(results []*Result) *Table {
+	t := &Table{
+		Caption: "Table 4 — AllReduce vs. synthesized optimal reduction strategy (measured seconds)",
+		Header: []string{"System", "Algo", "Axes", "Reduce", "Synthesis (s)",
+			"Outperform/Total", "Matrix", "AllReduce", "Optimal", "Speedup", "Optimal program"},
+	}
+	for _, r := range results {
+		first := true
+		for _, mr := range r.Matrices {
+			best := mr.Programs[mr.BestMeasured()]
+			lead := []string{"", "", "", "", "", ""}
+			if first {
+				lead = []string{
+					r.Config.Sys.Name,
+					r.Config.Algo.String(),
+					fmt.Sprintf("%v", r.Config.Axes),
+					fmt.Sprintf("%v", r.Config.ReduceAxes),
+					fmt.Sprintf("%.3f", r.SynthesisTime.Seconds()),
+					fmt.Sprintf("%d/%d", r.TotalOutperforming(), r.TotalPrograms()),
+				}
+				first = false
+			}
+			t.Rows = append(t.Rows, append(lead,
+				mr.Matrix.String(),
+				secs(mr.Baseline().Measured),
+				secs(best.Measured),
+				fmt.Sprintf("%.2f×", mr.Speedup()),
+				best.Program.String(),
+			))
+		}
+	}
+	return t
+}
+
+// BuildTable5 reproduces Table 5: top-k accuracy of the analytic simulator
+// against emulator measurements, per system and total.
+func BuildTable5(results []*Result) *Table {
+	ks := []int{1, 2, 3, 5, 6, 10}
+	t := &Table{
+		Caption: "Table 5 — analytic-simulator prediction accuracy (fraction of sweeps whose measured-best program is in the top-k predictions)",
+		Header:  []string{"System", "Top-1", "Top-2", "Top-3", "Top-5", "Top-6", "Top-10", "Sweeps"},
+	}
+	bySys := map[string][]*Result{}
+	var names []string
+	for _, r := range results {
+		n := r.Config.Sys.Name
+		if _, ok := bySys[n]; !ok {
+			names = append(names, n)
+		}
+		bySys[n] = append(bySys[n], r)
+	}
+	sort.Strings(names)
+	addRow := func(name string, rs []*Result) {
+		acc := Accuracy(rs, ks)
+		row := []string{name}
+		for _, k := range ks {
+			row = append(row, fmt.Sprintf("%.1f%%", 100*acc[k]))
+		}
+		row = append(row, fmt.Sprintf("%d", len(rs)))
+		t.Rows = append(t.Rows, row)
+	}
+	for _, n := range names {
+		addRow(n, bySys[n])
+	}
+	addRow("Total", results)
+	return t
+}
+
+// BuildFigure11 reproduces one panel of Figure 11: every (matrix, program)
+// pair of a sweep in increasing order of measured time, with the analytic
+// prediction alongside.
+func BuildFigure11(r *Result) *Table {
+	t := &Table{
+		Caption: fmt.Sprintf("Figure 11 — simulation vs. measurement for %s (sorted by measured time)", r.Config),
+		Header:  []string{"Rank", "Matrix", "Program", "Measured (s)", "Predicted (s)"},
+	}
+	pairs := r.Pairs()
+	sort.SliceStable(pairs, func(a, b int) bool { return pairs[a].Measured < pairs[b].Measured })
+	for i, p := range pairs {
+		mr := r.Matrices[p.MatrixIdx]
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", i+1),
+			mr.Matrix.String(),
+			mr.Programs[p.ProgramIdx].Program.String(),
+			secs(p.Measured),
+			secs(p.Predicted),
+		})
+	}
+	return t
+}
+
+// BuildAppendix reproduces the appendix table: for every sweep, synthesis
+// and simulation wall-clock, program counts, and per matrix the AllReduce
+// time, optimal time and speedup — the full-results form of Table 4.
+func BuildAppendix(results []*Result) *Table {
+	t := &Table{
+		Caption: "Appendix A — full experiment results",
+		Header: []string{"System", "Axes", "Reduce", "Algo", "Synthesis (s)",
+			"Sim (s)", "Outperform/Total", "Matrix", "AllReduce", "Optimal", "Speedup"},
+	}
+	for _, r := range results {
+		for _, mr := range r.Matrices {
+			best := mr.Programs[mr.BestMeasured()]
+			t.Rows = append(t.Rows, []string{
+				r.Config.Sys.Name,
+				fmt.Sprintf("%v", r.Config.Axes),
+				fmt.Sprintf("%v", r.Config.ReduceAxes),
+				r.Config.Algo.String(),
+				fmt.Sprintf("%.3f", r.SynthesisTime.Seconds()),
+				fmt.Sprintf("%.3f", r.SimulationTime.Seconds()),
+				fmt.Sprintf("%d/%d", mr.Outperforming(), len(mr.Programs)),
+				mr.Matrix.String(),
+				secs(mr.Baseline().Measured),
+				secs(best.Measured),
+				fmt.Sprintf("%.2f×", mr.Speedup()),
+			})
+		}
+	}
+	return t
+}

@@ -1,0 +1,433 @@
+// Package hierarchy constructs the synthesis hierarchies of §3.4 of the P²
+// paper. Given a parallelism matrix and the requested reduction axes, four
+// hierarchies can drive the reduction DSL:
+//
+//	(a) KindSystem        — the raw hardware hierarchy, e.g. [1 2 2 4]
+//	(b) KindColumnBased   — parallelism factors expanded column by column
+//	(c) KindRowBased      — parallelism factors expanded row by row
+//	(d) KindReductionAxes — only the reduction axes' factors (P²'s choice),
+//	                        optionally collapsing factors that live on the
+//	                        same hardware level (§2.5)
+//
+// A hierarchy is a list of level sizes plus, per leaf, (1) the physical
+// devices that leaf denotes and (2) the leaf-space reduction group. For
+// (a)–(c) each leaf is exactly one device; for (d) each leaf stands for one
+// device per combination of non-reduction coordinates (its replicas), and
+// lowering replicates synthesized groups across replicas.
+package hierarchy
+
+import (
+	"fmt"
+	"strings"
+
+	"p2/internal/factor"
+	"p2/internal/placement"
+)
+
+// Kind selects which synthesis hierarchy to build.
+type Kind int
+
+const (
+	// KindSystem is hierarchy (a): the hardware levels themselves.
+	KindSystem Kind = iota
+	// KindColumnBased is hierarchy (b): factors ordered column-major.
+	KindColumnBased
+	// KindRowBased is hierarchy (c): factors ordered row-major.
+	KindRowBased
+	// KindReductionAxes is hierarchy (d): only the reduction axes' rows,
+	// row-major. This is what P² uses.
+	KindReductionAxes
+)
+
+// Kinds lists all hierarchy kinds in expressiveness order (Theorem 3.2:
+// each is at least as expressive as the ones before it).
+var Kinds = []Kind{KindSystem, KindColumnBased, KindRowBased, KindReductionAxes}
+
+// String names the kind as in the paper's discussion.
+func (k Kind) String() string {
+	switch k {
+	case KindSystem:
+		return "system"
+	case KindColumnBased:
+		return "column-based"
+	case KindRowBased:
+		return "row-based"
+	case KindReductionAxes:
+		return "reduction-axes"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Hierarchy is a synthesis hierarchy ready for the reduction DSL.
+type Hierarchy struct {
+	Kind Kind
+	// Sizes are the level cardinalities, root-most first. Sizes[0] is
+	// always the implicit root of size 1 (the paper appends (root, 1)).
+	// Interior levels of size 1 are dropped: they cannot change any
+	// device grouping and only duplicate instructions.
+	Sizes []int
+	// Names label each level for diagnostics, aligned with Sizes.
+	Names []string
+	// Leaves[u] lists the physical devices leaf u denotes, ordered by the
+	// non-reduction coordinate combination (the replica index). All
+	// leaves have the same replica count.
+	Leaves [][]int
+	// Groups[u] is the leaf-space reduction group of leaf u: the leaves
+	// whose data must be reduced with it, sorted ascending and including
+	// u itself.
+	Groups [][]int
+	// ReductionLevel[l] reports whether level l consists purely of
+	// reduction-axis parallelism factors. The admissibility conditions of
+	// Corollary B.4 and Lemmas B.5/B.6 quantify over these flags: an
+	// instruction may only vary or cover non-root levels that are on the
+	// reduction axes. For KindReductionAxes every level is a reduction
+	// level.
+	ReductionLevel []bool
+
+	radix *factor.Radix
+}
+
+// K returns the number of leaves (the synthesis universe size).
+func (h *Hierarchy) K() int { return len(h.Leaves) }
+
+// Replicas returns how many physical devices each leaf denotes.
+func (h *Hierarchy) Replicas() int { return len(h.Leaves[0]) }
+
+// NumLevels returns the number of hierarchy levels including the root.
+func (h *Hierarchy) NumLevels() int { return len(h.Sizes) }
+
+// Radix exposes the leaf-address codec.
+func (h *Hierarchy) Radix() *factor.Radix { return h.radix }
+
+// String renders the hierarchy sizes like "[1 2 1 2]" (root omitted, as in
+// the paper's presentation).
+func (h *Hierarchy) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	first := true
+	for _, s := range h.Sizes[1:] {
+		if !first {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", s)
+		first = false
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Options configure hierarchy construction.
+type Options struct {
+	// Collapse merges reduction-axis factors that belong to the same
+	// hardware level into a single level (the [7 16 27] optimization of
+	// §2.5). Only meaningful for KindReductionAxes.
+	Collapse bool
+	// KeepUnitLevels retains interior levels of size 1 instead of
+	// dropping them. Useful for ablation studies of the search space.
+	KeepUnitLevels bool
+}
+
+// Build constructs the synthesis hierarchy of the given kind for matrix m
+// and reduction axes reduceAxes (indices into m.Axes, ascending).
+func Build(kind Kind, m *placement.Matrix, reduceAxes []int, opts Options) (*Hierarchy, error) {
+	if len(reduceAxes) == 0 {
+		return nil, fmt.Errorf("hierarchy: no reduction axes")
+	}
+	seen := map[int]bool{}
+	for _, r := range reduceAxes {
+		if r < 0 || r >= m.NumAxes() {
+			return nil, fmt.Errorf("hierarchy: reduction axis %d out of range", r)
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("hierarchy: duplicate reduction axis %d", r)
+		}
+		seen[r] = true
+	}
+	switch kind {
+	case KindSystem, KindColumnBased, KindRowBased:
+		return buildFull(kind, m, reduceAxes, opts)
+	case KindReductionAxes:
+		return buildReduction(m, reduceAxes, opts)
+	default:
+		return nil, fmt.Errorf("hierarchy: unknown kind %v", kind)
+	}
+}
+
+// MustBuild is Build panicking on error.
+func MustBuild(kind Kind, m *placement.Matrix, reduceAxes []int, opts Options) *Hierarchy {
+	h, err := Build(kind, m, reduceAxes, opts)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// levelRef identifies one hierarchy position in terms of the matrix.
+type levelRef struct {
+	axis      int // -1 for a raw hardware level (kind (a))
+	level     int
+	size      int
+	name      string
+	reduction bool
+}
+
+func buildFull(kind Kind, m *placement.Matrix, reduceAxes []int, opts Options) (*Hierarchy, error) {
+	isRed := make([]bool, m.NumAxes())
+	for _, r := range reduceAxes {
+		isRed[r] = true
+	}
+	// A raw hardware level is a reduction level when every non-reduction
+	// factor in its column is 1.
+	levelIsRed := func(j int) bool {
+		for i := 0; i < m.NumAxes(); i++ {
+			if !isRed[i] && m.X[i][j] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	var refs []levelRef
+	switch kind {
+	case KindSystem:
+		for j := 0; j < m.NumLevels(); j++ {
+			refs = append(refs, levelRef{axis: -1, level: j, size: m.Hier[j],
+				name: fmt.Sprintf("h%d", j), reduction: levelIsRed(j)})
+		}
+	case KindColumnBased:
+		for j := 0; j < m.NumLevels(); j++ {
+			for i := 0; i < m.NumAxes(); i++ {
+				refs = append(refs, levelRef{axis: i, level: j, size: m.X[i][j],
+					name: fmt.Sprintf("x%d,%d", i, j), reduction: isRed[i]})
+			}
+		}
+	case KindRowBased:
+		for i := 0; i < m.NumAxes(); i++ {
+			for j := 0; j < m.NumLevels(); j++ {
+				refs = append(refs, levelRef{axis: i, level: j, size: m.X[i][j],
+					name: fmt.Sprintf("x%d,%d", i, j), reduction: isRed[i]})
+			}
+		}
+	}
+	kept := keepRefs(refs, opts)
+	sizes := refSizes(kept)
+	rad := factor.NewRadix(sizes)
+
+	n := m.NumDevices()
+	// leafOf maps each physical device to its leaf index under this
+	// hierarchy's digit ordering.
+	leaves := make([][]int, n)
+	leafOf := make([]int, n)
+	digits := make([]int, len(kept))
+	for dev := 0; dev < n; dev++ {
+		for p, ref := range kept[1:] { // skip root digit (always 0)
+			if ref.axis < 0 {
+				digits[p+1] = m.LevelCoord(dev, ref.level)
+			} else {
+				digits[p+1] = m.FactorDigit(dev, ref.axis, ref.level)
+			}
+		}
+		digits[0] = 0
+		u := rad.Encode(digits)
+		leafOf[dev] = u
+		leaves[u] = []int{dev}
+	}
+	// Leaf-space reduction groups via the matrix's device groups.
+	groups := make([][]int, n)
+	for dev := 0; dev < n; dev++ {
+		phys := m.ReductionGroup(dev, reduceAxes)
+		g := make([]int, len(phys))
+		for i, pd := range phys {
+			g[i] = leafOf[pd]
+		}
+		groups[leafOf[dev]] = sortedInts(g)
+	}
+	return &Hierarchy{
+		Kind:           kind,
+		Sizes:          sizes,
+		Names:          refNames(kept),
+		Leaves:         leaves,
+		Groups:         groups,
+		ReductionLevel: refReduction(kept),
+		radix:          rad,
+	}, nil
+}
+
+func buildReduction(m *placement.Matrix, reduceAxes []int, opts Options) (*Hierarchy, error) {
+	var refs []levelRef
+	if opts.Collapse {
+		// One level per hardware level: the product of the reduction
+		// axes' factors there (e.g. [1 2 3; 7 8 9] on axes {0,1} gives
+		// [7 16 27] as in §2.5).
+		for j := 0; j < m.NumLevels(); j++ {
+			size := 1
+			for _, r := range reduceAxes {
+				size *= m.X[r][j]
+			}
+			refs = append(refs, levelRef{axis: -2, level: j, size: size,
+				name: fmt.Sprintf("c%d", j), reduction: true})
+		}
+	} else {
+		for _, r := range reduceAxes {
+			for j := 0; j < m.NumLevels(); j++ {
+				refs = append(refs, levelRef{axis: r, level: j, size: m.X[r][j],
+					name: fmt.Sprintf("x%d,%d", r, j), reduction: true})
+			}
+		}
+	}
+	kept := keepRefs(refs, opts)
+	sizes := refSizes(kept)
+	rad := factor.NewRadix(sizes)
+	k := rad.Total()
+
+	// Enumerate replicas: all combinations of non-reduction coordinates.
+	isRed := make([]bool, m.NumAxes())
+	for _, r := range reduceAxes {
+		isRed[r] = true
+	}
+	var freeAxes, freeSizes []int
+	for i := 0; i < m.NumAxes(); i++ {
+		if !isRed[i] {
+			freeAxes = append(freeAxes, i)
+			freeSizes = append(freeSizes, m.Axes[i])
+		}
+	}
+	freeRad := factor.NewRadix(freeSizes)
+
+	leaves := make([][]int, k)
+	digits := make([]int, len(kept))
+	axisCoords := make([]int, m.NumAxes())
+	freeDigits := make([]int, freeRad.Len())
+	for u := 0; u < k; u++ {
+		rad.DecodeInto(u, digits)
+		// Convert hierarchy digits to per-reduction-axis coordinates.
+		// Refs for one axis appear in root→leaf level order, so a
+		// multiply-accumulate per axis rebuilds its coordinate; dropped
+		// unit factors contribute digit 0 and change nothing.
+		var redCoord []int
+		if opts.Collapse {
+			redCoord = collapsedLeafToRedCoord(u, m, reduceAxes, kept, rad)
+		} else {
+			redCoord = make([]int, len(reduceAxes))
+			for p, ref := range kept {
+				if p == 0 {
+					continue // root
+				}
+				ri := indexOf(reduceAxes, ref.axis)
+				redCoord[ri] = redCoord[ri]*ref.size + digits[p]
+			}
+		}
+		reps := make([]int, 0, freeRad.Total())
+		for v := 0; v < freeRad.Total(); v++ {
+			freeRad.DecodeInto(v, freeDigits)
+			for idx, a := range freeAxes {
+				axisCoords[a] = freeDigits[idx]
+			}
+			for idx, r := range reduceAxes {
+				axisCoords[r] = redCoord[idx]
+			}
+			reps = append(reps, m.Device(axisCoords))
+		}
+		leaves[u] = reps
+	}
+
+	all := make([]int, k)
+	for i := range all {
+		all[i] = i
+	}
+	groups := make([][]int, k)
+	for u := range groups {
+		groups[u] = all
+	}
+	return &Hierarchy{
+		Kind:           KindReductionAxes,
+		Sizes:          sizes,
+		Names:          refNames(kept),
+		Leaves:         leaves,
+		Groups:         groups,
+		ReductionLevel: refReduction(kept),
+		radix:          rad,
+	}, nil
+}
+
+// collapsedLeafToRedCoord decodes leaf u of a collapsed reduction hierarchy
+// into per-reduction-axis coordinates. Within a collapsed level, per-axis
+// digits are packed row-major (first reduction axis most significant).
+func collapsedLeafToRedCoord(u int, m *placement.Matrix, reduceAxes []int, kept []levelRef, rad *factor.Radix) []int {
+	redCoord := make([]int, len(reduceAxes))
+	digits := rad.Decode(u)
+	for p, ref := range kept {
+		if p == 0 || ref.axis != -2 {
+			continue
+		}
+		d := digits[p]
+		// Unpack row-major: last axis least significant.
+		sub := make([]int, len(reduceAxes))
+		for idx := len(reduceAxes) - 1; idx >= 0; idx-- {
+			f := m.X[reduceAxes[idx]][ref.level]
+			sub[idx] = d % f
+			d /= f
+		}
+		for idx := range reduceAxes {
+			f := m.X[reduceAxes[idx]][ref.level]
+			redCoord[idx] = redCoord[idx]*f + sub[idx]
+		}
+	}
+	return redCoord
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("hierarchy: %d not in %v", v, xs))
+}
+
+// keepRefs prepends the root and drops interior unit levels unless asked
+// to keep them.
+func keepRefs(refs []levelRef, opts Options) []levelRef {
+	out := []levelRef{{axis: -3, level: -1, size: 1, name: "root", reduction: true}}
+	for _, r := range refs {
+		if r.size == 1 && !opts.KeepUnitLevels {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func refSizes(refs []levelRef) []int {
+	out := make([]int, len(refs))
+	for i, r := range refs {
+		out[i] = r.size
+	}
+	return out
+}
+
+func refReduction(refs []levelRef) []bool {
+	out := make([]bool, len(refs))
+	for i, r := range refs {
+		out[i] = r.reduction
+	}
+	return out
+}
+
+func refNames(refs []levelRef) []string {
+	out := make([]string, len(refs))
+	for i, r := range refs {
+		out[i] = r.name
+	}
+	return out
+}
+
+func sortedInts(xs []int) []int {
+	out := append([]int(nil), xs...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"p2/internal/placement"
+)
+
+// allConfigs yields a diverse set of (matrix, reduceAxes) pairs including
+// non-power-of-two sizes and three hardware levels.
+func allConfigs(t *testing.T) []struct {
+	m   *placement.Matrix
+	red []int
+} {
+	t.Helper()
+	type cfg struct {
+		hier, axes []int
+		reds       [][]int
+	}
+	cfgs := []cfg{
+		{[]int{1, 2, 2, 4}, []int{4, 4}, [][]int{{0}, {1}, {0, 1}}},
+		{[]int{4, 16}, []int{8, 8}, [][]int{{0}, {1}}},
+		{[]int{2, 2, 4}, []int{4, 4}, [][]int{{0}, {1}}},
+		{[]int{3, 6}, []int{2, 9}, [][]int{{0}, {1}}},
+		{[]int{4, 16}, []int{8, 2, 4}, [][]int{{0, 2}, {1}}},
+	}
+	var out []struct {
+		m   *placement.Matrix
+		red []int
+	}
+	for _, c := range cfgs {
+		ms, err := placement.Enumerate(c.hier, c.axes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range ms {
+			for _, red := range c.reds {
+				out = append(out, struct {
+					m   *placement.Matrix
+					red []int
+				}{m, red})
+			}
+		}
+	}
+	return out
+}
+
+// TestLeavesPartitionDevices: for every hierarchy kind and config, the
+// leaves' replica lists cover every physical device exactly once.
+func TestLeavesPartitionDevices(t *testing.T) {
+	for _, c := range allConfigs(t) {
+		for _, kind := range Kinds {
+			opts := Options{}
+			h, err := Build(kind, c.m, c.red, opts)
+			if err != nil {
+				t.Fatalf("%v %v %v: %v", kind, c.m, c.red, err)
+			}
+			seen := map[int]int{}
+			for _, leaves := range h.Leaves {
+				for _, d := range leaves {
+					seen[d]++
+				}
+			}
+			if len(seen) != c.m.NumDevices() {
+				t.Errorf("%v %v red %v: %d devices covered of %d",
+					kind, c.m, c.red, len(seen), c.m.NumDevices())
+			}
+			for d, n := range seen {
+				if n != 1 {
+					t.Errorf("%v %v red %v: device %d appears %d times", kind, c.m, c.red, d, n)
+				}
+			}
+			if h.K()*h.Replicas() != c.m.NumDevices() {
+				t.Errorf("%v %v: K×Replicas = %d×%d != %d devices",
+					kind, c.m, h.K(), h.Replicas(), c.m.NumDevices())
+			}
+		}
+	}
+}
+
+// TestUniverseSizeMatchesSizes: K equals the product of level sizes.
+func TestUniverseSizeMatchesSizes(t *testing.T) {
+	for _, c := range allConfigs(t) {
+		for _, kind := range Kinds {
+			h, err := Build(kind, c.m, c.red, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			prod := 1
+			for _, s := range h.Sizes {
+				prod *= s
+			}
+			if prod != h.K() {
+				t.Errorf("%v %v: ∏Sizes = %d, K = %d", kind, c.m, prod, h.K())
+			}
+		}
+	}
+}
+
+// TestReplicaColumnsAreReductionGroups: for the reduction-axes hierarchy,
+// fixing a replica index and sweeping leaves yields exactly one physical
+// reduction group.
+func TestReplicaColumnsAreReductionGroups(t *testing.T) {
+	for _, c := range allConfigs(t) {
+		h, err := Build(KindReductionAxes, c.m, c.red, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < h.Replicas(); r++ {
+			col := make([]int, h.K())
+			for u := 0; u < h.K(); u++ {
+				col[u] = h.Leaves[u][r]
+			}
+			want := c.m.ReductionGroup(col[0], c.red)
+			if !sameSet(col, want) {
+				t.Errorf("%v red %v replica %d: column is not a reduction group", c.m, c.red, r)
+			}
+		}
+	}
+}
+
+// TestCollapseInvariants: collapsing preserves the universe size and the
+// leaf→device relation as a set, for multi-axis reductions.
+func TestCollapseInvariants(t *testing.T) {
+	ms, err := placement.Enumerate([]int{4, 16}, []int{8, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		plain, err := Build(KindReductionAxes, m, []int{0, 2}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coll, err := Build(KindReductionAxes, m, []int{0, 2}, Options{Collapse: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.K() != coll.K() || plain.Replicas() != coll.Replicas() {
+			t.Errorf("%v: collapse changed universe shape", m)
+		}
+		if len(coll.Sizes) > len(plain.Sizes) {
+			t.Errorf("%v: collapse grew the hierarchy", m)
+		}
+		for _, rl := range coll.ReductionLevel {
+			if !rl {
+				t.Errorf("%v: collapsed hierarchy has a non-reduction level", m)
+			}
+		}
+	}
+}
+
+// TestReductionLevelFlags: full hierarchies flag exactly the reduction
+// axes' factor levels.
+func TestReductionLevelFlags(t *testing.T) {
+	m, err := placement.NewMatrix([]int{1, 2, 2, 4}, []int{4, 4},
+		[][]int{{1, 1, 2, 2}, {1, 2, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Build(KindRowBased, m, []int{1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sizes: [root, 2(a0), 2(a0), 2(a1), 2(a1)]; reduction axis is 1.
+	want := []bool{true, false, false, true, true}
+	for i, w := range want {
+		if h.ReductionLevel[i] != w {
+			t.Errorf("level %d: reduction = %v, want %v", i, h.ReductionLevel[i], w)
+		}
+	}
+}
+
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[int]int{}
+	for _, x := range a {
+		m[x]++
+	}
+	for _, x := range b {
+		m[x]--
+	}
+	for _, v := range m {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,296 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"p2/internal/cost"
+	"p2/internal/lower"
+)
+
+// ConcurrentSpec pairs a program with its own payload size and algorithm
+// (zero values inherit the simulator's).
+type ConcurrentSpec struct {
+	Program *lower.Program
+	Bytes   float64
+	Algo    cost.Algorithm
+	HasAlgo bool
+}
+
+// MeasureConcurrent emulates several lowered programs executing at the
+// same time on the shared network — e.g. a tensor-parallel activation
+// all-reduce overlapping a data-parallel gradient all-reduce, as happens
+// when they run on different streams. Each program's steps remain
+// sequential internally (steps are barriers within a program), but
+// transfers of different programs contend for links concurrently.
+//
+// It returns the per-program completion times. MeasureConcurrent(p) with a
+// single program is equivalent to Measure(p).
+func (s *Simulator) MeasureConcurrent(programs []*lower.Program) []float64 {
+	specs := make([]ConcurrentSpec, len(programs))
+	for i, p := range programs {
+		specs[i] = ConcurrentSpec{Program: p}
+	}
+	return s.MeasureConcurrentSpecs(specs)
+}
+
+// MeasureConcurrentSpecs is MeasureConcurrent with per-program payloads
+// and algorithms.
+func (s *Simulator) MeasureConcurrentSpecs(specs []ConcurrentSpec) []float64 {
+	if len(specs) == 0 {
+		return nil
+	}
+	opts := s.Opts
+	if opts.NoiseFrac == 0 {
+		opts.NoiseFrac = defaultNoiseFrac
+	}
+	if opts.LaunchOverhead == 0 {
+		opts.LaunchOverhead = defaultLaunchOverhead
+	}
+
+	type laneState struct {
+		steps   []lower.Step
+		stepIdx int
+		groups  []*groupRun
+		live    int // unfinished groups of the current step
+		nextAt  float64
+		done    bool
+		finish  float64
+		noise   *noiseStream
+		bytes   float64
+		algo    cost.Algorithm
+	}
+
+	resIdx := map[resKey]int{}
+	var resources []resource
+	getRes := func(k resKey, bw float64) int {
+		if i, ok := resIdx[k]; ok {
+			return i
+		}
+		resources = append(resources, resource{bandwidth: bw})
+		resIdx[k] = len(resources) - 1
+		return len(resources) - 1
+	}
+	pathOf := func(a, b int) []int {
+		ldiv := s.Sys.DivergenceLevel(a, b)
+		if ldiv < 0 {
+			return nil
+		}
+		var out []int
+		for l := ldiv; l < s.Sys.NumLevels(); l++ {
+			bw := s.Sys.Uplinks[l].Bandwidth
+			out = append(out,
+				getRes(resKey{l, s.Sys.EntityID(a, l)}, bw),
+				getRes(resKey{l, s.Sys.EntityID(b, l)}, bw))
+		}
+		if cd := s.Sys.CrossDomain; cd != nil && !opts.DisableCrossDomain && ldiv == s.Sys.NumLevels()-1 {
+			leaf := s.Sys.Levels[len(s.Sys.Levels)-1].Count
+			per := leaf / cd.DomainsPerNode
+			ca := s.Sys.Coords(a)
+			cb := s.Sys.Coords(b)
+			if ca[len(ca)-1]/per != cb[len(cb)-1]/per {
+				node := s.Sys.EntityID(a, s.Sys.NumLevels()-2)
+				out = append(out, getRes(resKey{domainLevel, node}, cd.Bandwidth))
+			}
+		}
+		return out
+	}
+
+	lanes := make([]*laneState, len(specs))
+	for li, spec := range specs {
+		p := spec.Program
+		if p.NumDevices != s.Sys.NumDevices() {
+			panic(fmt.Sprintf("netsim: program has %d devices, system %d",
+				p.NumDevices, s.Sys.NumDevices()))
+		}
+		steps := p.Steps
+		if !opts.DisableFusion {
+			steps = FuseAllReduces(steps)
+		}
+		bytes := spec.Bytes
+		if bytes <= 0 {
+			bytes = s.Bytes
+		}
+		algo := s.Algo
+		if spec.HasAlgo {
+			algo = spec.Algo
+		}
+		lanes[li] = &laneState{
+			steps:  steps,
+			bytes:  bytes,
+			algo:   algo,
+			nextAt: opts.LaunchOverhead,
+			noise: newNoise(opts.Seed ^ fingerprint(s.Sys.Name, int(algo), p.Key()) ^
+				uint64(li)*0x9e3779b97f4a7c15),
+		}
+	}
+
+	type liveTransfer struct {
+		*transfer
+		lane int
+	}
+	var active []*liveTransfer
+	now := 0.0
+	unfinished := len(lanes)
+
+	startStep := func(li int) {
+		lane := lanes[li]
+		st := lane.steps[lane.stepIdx]
+		perDevice := st.FracIn() * lane.bytes
+		lane.groups = lane.groups[:0]
+		lane.live = 0
+		for gi, g := range st.Groups {
+			rounds := scheduleRounds(s.Sys, st.Op, g, perDevice, lane.algo)
+			lat := 0.0
+			for _, rd := range rounds {
+				for _, tr := range rd {
+					if l := s.pathLatency(tr.src, tr.dst); l > lat {
+						lat = l
+					}
+				}
+			}
+			lane.groups = append(lane.groups, &groupRun{rounds: rounds, latency: lat, startAt: now})
+			lane.live++
+			_ = gi
+		}
+	}
+	startRound := func(li, gi int) {
+		lane := lanes[li]
+		g := lane.groups[gi]
+		round := g.rounds[g.next]
+		g.next++
+		for ti, spec := range round {
+			b := spec.bytes
+			if !opts.DisableNoise {
+				b *= 1 + opts.NoiseFrac*lane.noise.next(lane.stepIdx, gi, g.next, ti)
+			}
+			tr := &transfer{
+				remaining: b,
+				paths:     pathOf(spec.src, spec.dst),
+				group:     gi,
+				src:       spec.src,
+				dst:       spec.dst,
+				bytes:     b,
+				started:   now,
+			}
+			for _, ri := range tr.paths {
+				resources[ri].active++
+			}
+			active = append(active, &liveTransfer{transfer: tr, lane: li})
+			g.inflight++
+		}
+	}
+
+	for unfinished > 0 {
+		// Launch lane steps and group rounds whose time has come.
+		for li, lane := range lanes {
+			if lane.done {
+				continue
+			}
+			if lane.groups == nil || lane.live == 0 {
+				// Between steps: waiting out the launch overhead.
+				if lane.nextAt <= now+1e-15 {
+					startStep(li)
+					for gi, g := range lane.groups {
+						if g.inflight == 0 && g.next < len(g.rounds) && g.startAt <= now+1e-15 {
+							startRound(li, gi)
+						}
+					}
+				}
+				continue
+			}
+			for gi, g := range lane.groups {
+				if !g.done && g.inflight == 0 && g.next < len(g.rounds) && g.startAt <= now+1e-15 {
+					startRound(li, gi)
+				}
+			}
+		}
+		// Rates.
+		for _, tr := range active {
+			rate := math.Inf(1)
+			for _, ri := range tr.paths {
+				r := resources[ri].bandwidth / float64(resources[ri].active)
+				if r < rate {
+					rate = r
+				}
+			}
+			tr.rate = rate
+		}
+		// Next event time.
+		dt := math.Inf(1)
+		for _, tr := range active {
+			if tr.rate > 0 {
+				if d := tr.remaining / tr.rate; d < dt {
+					dt = d
+				}
+			} else {
+				dt = 0
+			}
+		}
+		for _, lane := range lanes {
+			if lane.done {
+				continue
+			}
+			if lane.groups == nil || lane.live == 0 {
+				if d := lane.nextAt - now; d < dt {
+					dt = d
+				}
+				continue
+			}
+			for _, g := range lane.groups {
+				if !g.done && g.inflight == 0 && g.next < len(g.rounds) {
+					if d := g.startAt - now; d < dt {
+						dt = d
+					}
+				}
+			}
+		}
+		if math.IsInf(dt, 1) {
+			panic("netsim: concurrent deadlock with no progress")
+		}
+		if dt < 0 {
+			dt = 0
+		}
+		now += dt
+		// Retire completed transfers.
+		kept := active[:0]
+		for _, tr := range active {
+			tr.remaining -= tr.rate * dt
+			if tr.remaining <= 1e-9*tr.rate+1e-12 {
+				for _, ri := range tr.paths {
+					resources[ri].active--
+				}
+				lane := lanes[tr.lane]
+				g := lane.groups[tr.group]
+				g.inflight--
+				if g.inflight == 0 {
+					if g.next >= len(g.rounds) {
+						g.done = true
+						lane.live--
+						if lane.live == 0 {
+							lane.stepIdx++
+							if lane.stepIdx >= len(lane.steps) {
+								lane.done = true
+								lane.finish = now
+								unfinished--
+							} else {
+								lane.nextAt = now + opts.LaunchOverhead
+							}
+						}
+					} else {
+						g.startAt = now + g.latency
+					}
+				}
+			} else {
+				kept = append(kept, tr)
+			}
+		}
+		active = kept
+	}
+
+	out := make([]float64, len(lanes))
+	for li, lane := range lanes {
+		out[li] = lane.finish
+	}
+	return out
+}

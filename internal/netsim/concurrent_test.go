@@ -1,0 +1,89 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"p2/internal/cost"
+	"p2/internal/dsl"
+	"p2/internal/lower"
+	"p2/internal/synth"
+	"p2/internal/topology"
+)
+
+func TestConcurrentSingleMatchesMeasure(t *testing.T) {
+	lp := lowerFor(t, []int{4, 16}, []int{4, 16}, [][]int{{2, 2}, {2, 8}}, []int{0},
+		synth.BaselineAllReduce())
+	sim := &Simulator{Sys: topology.A100System(4), Algo: cost.Ring, Bytes: cost.PayloadBytes(4)}
+	want := sim.Measure(lp)
+	got := sim.MeasureConcurrent([]*lower.Program{lp})
+	if len(got) != 1 {
+		t.Fatalf("results = %d", len(got))
+	}
+	if math.Abs(got[0]-want)/want > 1e-9 {
+		t.Errorf("MeasureConcurrent single = %v, Measure = %v", got[0], want)
+	}
+}
+
+func TestConcurrentContention(t *testing.T) {
+	// Two cross-node reductions sharing the NICs must each take longer
+	// than in isolation, and at most about the sum.
+	lpA := lowerFor(t, []int{4, 16}, []int{4, 16}, [][]int{{2, 2}, {2, 8}}, []int{0},
+		synth.BaselineAllReduce())
+	lpB := lowerFor(t, []int{4, 16}, []int{4, 16}, [][]int{{2, 2}, {2, 8}}, []int{0},
+		dsl.Program{
+			{Slice: 1, Form: dsl.InsideGroup, Op: 1 /* ReduceScatter */},
+			{Slice: 1, Form: dsl.Parallel, Arg: 0, Op: 0 /* AllReduce */},
+			{Slice: 1, Form: dsl.InsideGroup, Op: 2 /* AllGather */},
+		})
+	sim := &Simulator{Sys: topology.A100System(4), Algo: cost.Ring, Bytes: cost.PayloadBytes(4),
+		Opts: Options{DisableNoise: true}}
+	soloA := sim.Measure(lpA)
+	soloB := sim.Measure(lpB)
+	both := sim.MeasureConcurrent([]*lower.Program{lpA, lpB})
+	for i, v := range both {
+		if v <= 0 {
+			t.Fatalf("lane %d time %v", i, v)
+		}
+	}
+	if both[0] <= soloA || both[1] <= soloB {
+		t.Errorf("no contention: both=%v solo=(%v, %v)", both, soloA, soloB)
+	}
+	if both[0] > soloA+soloB+1 || both[1] > soloA+soloB+1 {
+		t.Errorf("over-serialized: both=%v solo=(%v, %v)", both, soloA, soloB)
+	}
+}
+
+func TestConcurrentWorkConserving(t *testing.T) {
+	// Fair sharing is work-conserving: two identical single-step
+	// reductions sharing every link finish in about twice the solo time.
+	lp := lowerFor(t, []int{4, 16}, []int{4, 16}, [][]int{{4, 1}, {1, 16}}, []int{0},
+		synth.BaselineAllReduce())
+	sim := &Simulator{Sys: topology.A100System(4), Algo: cost.Ring, Bytes: cost.PayloadBytes(4),
+		Opts: Options{DisableNoise: true}}
+	solo := sim.Measure(lp)
+	both := sim.MeasureConcurrent([]*lower.Program{lp, lp})
+	for _, v := range both {
+		if v < 1.8*solo || v > 2.2*solo {
+			t.Errorf("shared run %v, want ≈ 2×%v", v, solo)
+		}
+	}
+}
+
+func TestConcurrentEmpty(t *testing.T) {
+	sim := &Simulator{Sys: topology.A100System(2), Algo: cost.Ring, Bytes: 1e9}
+	if got := sim.MeasureConcurrent(nil); got != nil {
+		t.Errorf("MeasureConcurrent(nil) = %v", got)
+	}
+}
+
+func TestConcurrentDeterministic(t *testing.T) {
+	lp := lowerFor(t, []int{4, 16}, []int{4, 16}, [][]int{{2, 2}, {2, 8}}, []int{0},
+		synth.BaselineAllReduce())
+	sim := &Simulator{Sys: topology.A100System(4), Algo: cost.Ring, Bytes: cost.PayloadBytes(4)}
+	a := sim.MeasureConcurrent([]*lower.Program{lp, lp})
+	b := sim.MeasureConcurrent([]*lower.Program{lp, lp})
+	if a[0] != b[0] || a[1] != b[1] {
+		t.Errorf("nondeterministic: %v vs %v", a, b)
+	}
+}

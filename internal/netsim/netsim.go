@@ -1,0 +1,537 @@
+// Package netsim is an event-level network emulator used as the testbed
+// substitute for the paper's GCP GPU measurements (see DESIGN.md). It
+// executes lowered reduction programs on a topology model at
+// transfer granularity with:
+//
+//   - per-link fair bandwidth sharing (all transfers crossing a link split
+//     its bandwidth equally, so a node's single NIC is a real point of
+//     contention),
+//   - the ring/tree schedules of NCCL, executed round by round,
+//   - per-step launch overhead and per-round link latency,
+//   - V100 cross-PCIe-domain throttling (the effect the paper's analytic
+//     model deliberately ignores, Fig. 9b),
+//   - deterministic multiplicative noise seeded from the program
+//     fingerprint (standing in for network jitter), and
+//   - an XLA-like peephole that fuses consecutive AllReduce steps (the
+//     paper observes XLA doing exactly this to 2-step AllReduce programs).
+//
+// Because the emulator models effects the analytic model (internal/cost)
+// does not, predictions and "measurements" disagree in the same ways the
+// paper reports: mostly small gaps, larger on V100, and occasional
+// prediction misses on fused programs.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"p2/internal/collective"
+	"p2/internal/cost"
+	"p2/internal/lower"
+	"p2/internal/topology"
+)
+
+// Options tune emulator fidelity; the zero value gives the defaults used
+// by the experiment harness.
+type Options struct {
+	// Seed perturbs the deterministic noise stream.
+	Seed uint64
+	// NoiseFrac is the maximum multiplicative payload jitter (default
+	// 0.04, i.e. transfers are up to 4% slower than nominal).
+	NoiseFrac float64
+	// LaunchOverhead is the fixed per-step cost in seconds (kernel launch
+	// + NCCL setup; default 30 µs).
+	LaunchOverhead float64
+	// DisableFusion turns off the consecutive-AllReduce fusion peephole.
+	DisableFusion bool
+	// DisableCrossDomain turns off V100 PCIe-domain throttling.
+	DisableCrossDomain bool
+	// DisableNoise turns off jitter (useful for exact-value tests).
+	DisableNoise bool
+}
+
+const (
+	defaultNoiseFrac      = 0.04
+	defaultLaunchOverhead = 30e-6
+)
+
+// Event describes one completed transfer, for tracing/visualization.
+type Event struct {
+	// Step is the lowered-step index (after fusion).
+	Step int
+	// Group is the device-group index within the step.
+	Group int
+	// Op is the collective the transfer belongs to.
+	Op collective.Op
+	// Src and Dst are physical device ids.
+	Src, Dst int
+	// Bytes is the transferred volume (including jitter).
+	Bytes float64
+	// Start and End are simulation timestamps in seconds.
+	Start, End float64
+}
+
+// Simulator measures lowered programs on one system/algorithm/payload.
+type Simulator struct {
+	Sys   *topology.System
+	Algo  cost.Algorithm
+	Bytes float64
+	Opts  Options
+	// Recorder, when non-nil, receives every completed transfer. It is
+	// called in completion order with monotonically non-decreasing End
+	// timestamps.
+	Recorder func(Event)
+}
+
+// Measure returns the emulated end-to-end runtime in seconds.
+func (s *Simulator) Measure(p *lower.Program) float64 {
+	if p.NumDevices != s.Sys.NumDevices() {
+		panic(fmt.Sprintf("netsim: program has %d devices, system %d",
+			p.NumDevices, s.Sys.NumDevices()))
+	}
+	opts := s.Opts
+	if opts.NoiseFrac == 0 {
+		opts.NoiseFrac = defaultNoiseFrac
+	}
+	if opts.LaunchOverhead == 0 {
+		opts.LaunchOverhead = defaultLaunchOverhead
+	}
+	steps := p.Steps
+	if !opts.DisableFusion {
+		steps = FuseAllReduces(steps)
+	}
+	noise := newNoise(opts.Seed ^ fingerprint(s.Sys.Name, int(s.Algo), p.Key()))
+	total := 0.0
+	for si, st := range steps {
+		total += opts.LaunchOverhead
+		total += s.runStep(st, si, total, noise, opts)
+	}
+	return total
+}
+
+// resource is a contended link: an uplink (level >= 0) or a V100
+// cross-domain path (level == domainLevel).
+type resource struct {
+	bandwidth float64
+	active    int
+}
+
+const domainLevel = -1
+
+type resKey struct {
+	level  int
+	entity int
+}
+
+// transferSpec is one point-to-point copy within a round.
+type transferSpec struct {
+	src, dst int
+	bytes    float64
+}
+
+// transfer is a live transfer.
+type transfer struct {
+	remaining float64
+	paths     []int // resource indices
+	group     int
+	rate      float64
+	// trace metadata (only used when a Recorder is attached)
+	src, dst int
+	bytes    float64
+	started  float64
+}
+
+// groupRun tracks one group's progress through its rounds.
+type groupRun struct {
+	rounds   [][]transferSpec
+	next     int     // next round index
+	inflight int     // live transfers of the current round
+	latency  float64 // per-round latency for this group
+	startAt  float64 // time the next round may start
+	done     bool
+}
+
+func (s *Simulator) runStep(st lower.Step, stepIdx int, base float64, noise *noiseStream, opts Options) float64 {
+	resIdx := map[resKey]int{}
+	var resources []resource
+	getRes := func(k resKey, bw float64) int {
+		if i, ok := resIdx[k]; ok {
+			return i
+		}
+		resources = append(resources, resource{bandwidth: bw})
+		resIdx[k] = len(resources) - 1
+		return len(resources) - 1
+	}
+
+	perDevice := st.FracIn() * s.Bytes
+	groups := make([]*groupRun, len(st.Groups))
+	live := 0
+	for gi, g := range st.Groups {
+		rounds := scheduleRounds(s.Sys, st.Op, g, perDevice, s.Algo)
+		lat := 0.0
+		for _, rd := range rounds {
+			for _, tr := range rd {
+				if l := s.pathLatency(tr.src, tr.dst); l > lat {
+					lat = l
+				}
+			}
+		}
+		groups[gi] = &groupRun{rounds: rounds, latency: lat}
+		live++
+	}
+
+	var active []*transfer
+	now := 0.0
+
+	pathOf := func(a, b int) []int {
+		ldiv := s.Sys.DivergenceLevel(a, b)
+		if ldiv < 0 {
+			return nil
+		}
+		var out []int
+		for l := ldiv; l < s.Sys.NumLevels(); l++ {
+			bw := s.Sys.Uplinks[l].Bandwidth
+			out = append(out,
+				getRes(resKey{l, s.Sys.EntityID(a, l)}, bw),
+				getRes(resKey{l, s.Sys.EntityID(b, l)}, bw))
+		}
+		if cd := s.Sys.CrossDomain; cd != nil && !opts.DisableCrossDomain && ldiv == s.Sys.NumLevels()-1 {
+			// Same node, leaf-level divergence: check PCIe domains.
+			leaf := s.Sys.Levels[len(s.Sys.Levels)-1].Count
+			per := leaf / cd.DomainsPerNode
+			ca := s.Sys.Coords(a)
+			cb := s.Sys.Coords(b)
+			if ca[len(ca)-1]/per != cb[len(cb)-1]/per {
+				node := s.Sys.EntityID(a, s.Sys.NumLevels()-2)
+				out = append(out, getRes(resKey{domainLevel, node}, cd.Bandwidth))
+			}
+		}
+		return out
+	}
+
+	startRound := func(gi int) {
+		g := groups[gi]
+		round := g.rounds[g.next]
+		g.next++
+		for ti, spec := range round {
+			b := spec.bytes
+			if !opts.DisableNoise {
+				b *= 1 + opts.NoiseFrac*noise.next(stepIdx, gi, g.next, ti)
+			}
+			tr := &transfer{
+				remaining: b,
+				paths:     pathOf(spec.src, spec.dst),
+				group:     gi,
+				src:       spec.src,
+				dst:       spec.dst,
+				bytes:     b,
+				started:   now,
+			}
+			for _, ri := range tr.paths {
+				resources[ri].active++
+			}
+			active = append(active, tr)
+			g.inflight++
+		}
+	}
+
+	for gi := range groups {
+		startRound(gi)
+	}
+
+	for live > 0 {
+		// Assign equal-share rates.
+		for _, tr := range active {
+			rate := math.Inf(1)
+			for _, ri := range tr.paths {
+				r := resources[ri].bandwidth / float64(resources[ri].active)
+				if r < rate {
+					rate = r
+				}
+			}
+			tr.rate = rate
+		}
+		// Time of next completion or pending round start.
+		dt := math.Inf(1)
+		for _, tr := range active {
+			if tr.rate > 0 {
+				if d := tr.remaining / tr.rate; d < dt {
+					dt = d
+				}
+			} else {
+				dt = 0
+			}
+		}
+		for _, g := range groups {
+			if !g.done && g.inflight == 0 && g.next < len(g.rounds) {
+				if d := g.startAt - now; d < dt {
+					dt = d
+				}
+			}
+		}
+		if math.IsInf(dt, 1) {
+			panic("netsim: deadlock with no progress")
+		}
+		if dt < 0 {
+			dt = 0
+		}
+		now += dt
+		// Drain and retire completed transfers.
+		const eps = 1e-9
+		kept := active[:0]
+		for _, tr := range active {
+			tr.remaining -= tr.rate * dt
+			if tr.remaining <= eps*tr.rate+1e-12 {
+				if s.Recorder != nil {
+					s.Recorder(Event{
+						Step:  stepIdx,
+						Group: tr.group,
+						Op:    st.Op,
+						Src:   tr.src,
+						Dst:   tr.dst,
+						Bytes: tr.bytes,
+						Start: base + tr.started,
+						End:   base + now,
+					})
+				}
+				for _, ri := range tr.paths {
+					resources[ri].active--
+				}
+				g := groups[tr.group]
+				g.inflight--
+				if g.inflight == 0 {
+					if g.next >= len(g.rounds) {
+						g.done = true
+						live--
+					} else {
+						g.startAt = now + g.latency
+					}
+				}
+			} else {
+				kept = append(kept, tr)
+			}
+		}
+		active = kept
+		// Launch any rounds whose start time has arrived.
+		for gi, g := range groups {
+			if !g.done && g.inflight == 0 && g.next < len(g.rounds) && g.startAt <= now+1e-15 {
+				startRound(gi)
+			}
+		}
+	}
+	return now
+}
+
+func (s *Simulator) pathLatency(a, b int) float64 {
+	ldiv := s.Sys.DivergenceLevel(a, b)
+	if ldiv < 0 {
+		return 0
+	}
+	lat := 0.0
+	for l := ldiv; l < s.Sys.NumLevels(); l++ {
+		if s.Sys.Uplinks[l].Latency > lat {
+			lat = s.Sys.Uplinks[l].Latency
+		}
+	}
+	if cd := s.Sys.CrossDomain; cd != nil && cd.Latency > lat {
+		lat = cd.Latency
+	}
+	return lat
+}
+
+// scheduleRounds expands a collective over one group into rounds of
+// concurrent transfers.
+func scheduleRounds(sys *topology.System, op collective.Op, g []int, perDevice float64, algo cost.Algorithm) [][]transferSpec {
+	n := len(g)
+	ringRounds := func(cnt int, bytes float64) [][]transferSpec {
+		rounds := make([][]transferSpec, cnt)
+		for r := range rounds {
+			round := make([]transferSpec, n)
+			for i := range g {
+				round[i] = transferSpec{src: g[i], dst: g[(i+1)%n], bytes: bytes}
+			}
+			rounds[r] = round
+		}
+		return rounds
+	}
+	chainRound := func(bytes float64, reverse bool) [][]transferSpec {
+		// Pipelined chain: all hops busy concurrently ≈ one round.
+		round := make([]transferSpec, 0, n-1)
+		for i := 1; i < n; i++ {
+			if reverse {
+				round = append(round, transferSpec{src: g[i], dst: g[i-1], bytes: bytes})
+			} else {
+				round = append(round, transferSpec{src: g[i-1], dst: g[i], bytes: bytes})
+			}
+		}
+		return [][]transferSpec{round}
+	}
+	treeRound := func(bytes float64, up bool) []transferSpec {
+		round := make([]transferSpec, 0, n-1)
+		for _, pair := range cost.TreeLinks(sys, g) {
+			if up {
+				round = append(round, transferSpec{src: pair[1], dst: pair[0], bytes: bytes})
+			} else {
+				round = append(round, transferSpec{src: pair[0], dst: pair[1], bytes: bytes})
+			}
+		}
+		return round
+	}
+	hdRounds := func() [][]transferSpec {
+		// Recursive halving then recursive doubling: in round r of the
+		// halving phase, group index i exchanges D/2^(r+1) with i XOR
+		// 2^r; the doubling phase mirrors it.
+		var halving [][]transferSpec
+		for r := 0; 1<<r < n; r++ {
+			bytes := perDevice / float64(int(2)<<r)
+			round := make([]transferSpec, 0, n)
+			for i := 0; i < n; i++ {
+				round = append(round, transferSpec{src: g[i], dst: g[i^(1<<r)], bytes: bytes})
+			}
+			halving = append(halving, round)
+		}
+		out := append([][]transferSpec{}, halving...)
+		for i := len(halving) - 1; i >= 0; i-- {
+			out = append(out, halving[i])
+		}
+		return out
+	}
+	switch op {
+	case collective.AllReduce:
+		if algo == cost.Tree {
+			return [][]transferSpec{treeRound(perDevice, true), treeRound(perDevice, false)}
+		}
+		if algo == cost.HalvingDoubling && n&(n-1) == 0 {
+			return hdRounds()
+		}
+		return ringRounds(2*(n-1), perDevice/float64(n))
+	case collective.ReduceScatter:
+		return ringRounds(n-1, perDevice/float64(n))
+	case collective.AllGather:
+		return ringRounds(n-1, perDevice)
+	case collective.Reduce:
+		if algo != cost.Ring {
+			return [][]transferSpec{treeRound(perDevice, true)}
+		}
+		return chainRound(perDevice, true)
+	case collective.Broadcast:
+		if algo != cost.Ring {
+			return [][]transferSpec{treeRound(perDevice, false)}
+		}
+		return chainRound(perDevice, false)
+	default:
+		panic(fmt.Sprintf("netsim: unknown op %v", op))
+	}
+}
+
+// FuseAllReduces applies the XLA peephole: consecutive AllReduce steps are
+// merged into a single AllReduce over the connected components of their
+// groups. The resulting step reduces exactly the same data (AllReduce
+// composition is associative over components), so this is semantics
+// preserving; it is exposed for tests and ablations.
+func FuseAllReduces(steps []lower.Step) []lower.Step {
+	out := make([]lower.Step, 0, len(steps))
+	for _, st := range steps {
+		if len(out) > 0 && st.Op == collective.AllReduce && out[len(out)-1].Op == collective.AllReduce {
+			prev := out[len(out)-1]
+			merged := mergeGroups(prev.Groups, st.Groups)
+			if merged != nil {
+				prev.Groups = merged
+				prev.RowsOut = st.RowsOut
+				out[len(out)-1] = prev
+				continue
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// mergeGroups unions two partitions into connected components. It returns
+// nil when the components would be ragged (different sizes), in which case
+// fusion is skipped.
+func mergeGroups(a, b [][]int) [][]int {
+	parent := map[int]int{}
+	var find func(x int) int
+	find = func(x int) int {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p != x {
+			parent[x] = find(p)
+		}
+		return parent[x]
+	}
+	union := func(x, y int) {
+		parent[find(x)] = find(y)
+	}
+	for _, gs := range [][][]int{a, b} {
+		for _, g := range gs {
+			for _, d := range g[1:] {
+				union(g[0], d)
+			}
+		}
+	}
+	comps := map[int][]int{}
+	var roots []int
+	for x := range parent {
+		r := find(x)
+		if _, ok := comps[r]; !ok {
+			roots = append(roots, r)
+		}
+		comps[r] = append(comps[r], x)
+	}
+	var out [][]int
+	size := -1
+	for _, r := range roots {
+		c := comps[r]
+		sort.Ints(c)
+		if size < 0 {
+			size = len(c)
+		} else if len(c) != size {
+			return nil
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// noiseStream yields deterministic pseudo-random values in [0, 1).
+type noiseStream struct {
+	state uint64
+}
+
+func newNoise(seed uint64) *noiseStream {
+	return &noiseStream{state: seed | 1}
+}
+
+func (n *noiseStream) next(vals ...int) float64 {
+	x := n.state
+	for _, v := range vals {
+		x ^= uint64(v+0x9e37) * 0x9e3779b97f4a7c15
+		x ^= x >> 29
+		x *= 0xbf58476d1ce4e5b9
+	}
+	x ^= x >> 32
+	n.state = n.state*6364136223846793005 + 1442695040888963407
+	return float64(x%1_000_003) / 1_000_003
+}
+
+func fingerprint(name string, algo int, key string) uint64 {
+	var h uint64 = 14695981039346656037
+	mix := func(b byte) {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	for i := 0; i < len(name); i++ {
+		mix(name[i])
+	}
+	mix(byte(algo))
+	for i := 0; i < len(key); i++ {
+		mix(key[i])
+	}
+	return h
+}

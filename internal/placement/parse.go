@@ -1,0 +1,84 @@
+package placement
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseRows parses the paper's compact matrix notation, e.g.
+// "[[1 4] [4 4]]" or "[[1,4],[4,4]]", into rows of integers. Whitespace and
+// commas between elements and rows are interchangeable.
+func ParseRows(s string) ([][]int, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return nil, fmt.Errorf("placement: matrix %q must be bracketed", s)
+	}
+	inner := s[1 : len(s)-1]
+	var rows [][]int
+	for {
+		start := strings.IndexByte(inner, '[')
+		if start < 0 {
+			if strings.Trim(inner, " ,\t") != "" {
+				return nil, fmt.Errorf("placement: trailing garbage %q", inner)
+			}
+			break
+		}
+		end := strings.IndexByte(inner[start:], ']')
+		if end < 0 {
+			return nil, fmt.Errorf("placement: unterminated row in %q", s)
+		}
+		row, err := parseIntList(inner[start+1 : start+end])
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		inner = inner[start+end+1:]
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("placement: no rows in %q", s)
+	}
+	width := len(rows[0])
+	for _, r := range rows {
+		if len(r) != width {
+			return nil, fmt.Errorf("placement: ragged rows in %q", s)
+		}
+	}
+	return rows, nil
+}
+
+// ParseMatrix parses rows and validates them against a hierarchy and axes.
+func ParseMatrix(s string, hier, axes []int) (*Matrix, error) {
+	rows, err := ParseRows(s)
+	if err != nil {
+		return nil, err
+	}
+	return NewMatrix(hier, axes, rows)
+}
+
+// ParseVector parses a flat bracketed vector such as "[4 16]".
+func ParseVector(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return nil, fmt.Errorf("placement: vector %q must be bracketed", s)
+	}
+	return parseIntList(s[1 : len(s)-1])
+}
+
+func parseIntList(s string) ([]int, error) {
+	fields := strings.FieldsFunc(s, func(r rune) bool {
+		return r == ' ' || r == ',' || r == '\t'
+	})
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("placement: empty int list")
+	}
+	out := make([]int, len(fields))
+	for i, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("placement: bad integer %q: %v", f, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

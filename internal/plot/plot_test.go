@@ -1,0 +1,98 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartBasic(t *testing.T) {
+	out := Chart("demo", []Series{
+		{Name: "measured", Marker: '*', Values: []float64{1, 2, 3, 4, 5}},
+		{Name: "predicted", Marker: 'x', Values: []float64{1.5, 2.5, 2.8, 4.2, 4.9}},
+	}, Options{Width: 40, Height: 10, XLabel: "rank", YLabel: "seconds"})
+	if !strings.Contains(out, "demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "x") {
+		t.Error("markers missing")
+	}
+	if !strings.Contains(out, "* = measured") || !strings.Contains(out, "x = predicted") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "rank") || !strings.Contains(out, "seconds") {
+		t.Error("axis labels missing")
+	}
+	lines := strings.Split(out, "\n")
+	// title + height rows + axis + xlabel + legend + trailing empty
+	if len(lines) != 1+10+1+1+1+1 {
+		t.Errorf("line count = %d", len(lines))
+	}
+}
+
+func TestChartMonotoneSeriesTopBottom(t *testing.T) {
+	out := Chart("", []Series{
+		{Name: "s", Marker: '#', Values: []float64{0, 10}},
+	}, Options{Width: 20, Height: 5})
+	lines := strings.Split(out, "\n")
+	// Max value is plotted on the first row (rightmost), min on the last
+	// plot row (leftmost).
+	if !strings.Contains(lines[0], "#") {
+		t.Errorf("max not on top row: %q", lines[0])
+	}
+	if !strings.Contains(lines[4], "#") {
+		t.Errorf("min not on bottom row: %q", lines[4])
+	}
+}
+
+func TestChartLogScale(t *testing.T) {
+	out := Chart("log", []Series{
+		{Name: "s", Marker: 'o', Values: []float64{0.001, 1, 1000}},
+	}, Options{Width: 30, Height: 9, LogY: true})
+	// On a log axis the middle value (1) lands on the middle row.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1+4], "o") {
+		t.Errorf("log midpoint misplaced:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart("empty", nil, Options{})
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty chart = %q", out)
+	}
+	out = Chart("nan", []Series{{Name: "s", Marker: '*', Values: []float64{math.NaN()}}}, Options{})
+	if !strings.Contains(out, "no data") {
+		t.Errorf("all-NaN chart = %q", out)
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	out := Chart("one", []Series{{Name: "s", Marker: '*', Values: []float64{42}}}, Options{Width: 10, Height: 4})
+	if !strings.Contains(out, "*") {
+		t.Error("single point missing")
+	}
+}
+
+func TestChartDefaultDimensions(t *testing.T) {
+	out := Chart("", []Series{{Name: "s", Marker: '*', Values: []float64{1, 2}}}, Options{})
+	lines := strings.Split(out, "\n")
+	if len(lines) < defaultHeight {
+		t.Errorf("default height not applied: %d lines", len(lines))
+	}
+	for _, l := range lines {
+		if strings.Contains(l, "|") && len(l) < defaultWidth {
+			t.Errorf("default width not applied: %q", l)
+		}
+	}
+}
+
+func TestChartSkipsNonPositiveOnLog(t *testing.T) {
+	out := Chart("", []Series{
+		{Name: "s", Marker: '*', Values: []float64{-5, 1, 10}},
+	}, Options{Width: 12, Height: 4, LogY: true})
+	grid := out[:strings.LastIndex(out, "+")] // strip axis footer and legend
+	if strings.Count(grid, "*") != 2 {
+		t.Errorf("expected 2 plotted points, chart:\n%s", out)
+	}
+}

@@ -1,0 +1,285 @@
+// Package topology models hierarchical accelerator systems as described in
+// §2 of the P² paper: a hardware hierarchy where each level has a name and a
+// cardinality, plus a set of interconnects with bandwidth and latency
+// characteristics.
+//
+// Levels are ordered from root-most (index 0) to leaf-most (index n). A
+// device is a leaf; its physical address is the mixed-radix tuple of per
+// level coordinates. Communication between two devices enters the network
+// at the leaf, climbs the uplinks to the lowest common level, crosses that
+// level's switch, and descends on the other side. The level at which two
+// device addresses first differ therefore determines which interconnects a
+// transfer traverses, which is exactly the structure the paper's cost model
+// (§5) exploits.
+package topology
+
+import (
+	"fmt"
+	"strings"
+
+	"p2/internal/factor"
+)
+
+// Level is one tier of the hardware hierarchy: Count entities of this level
+// exist under each entity of the level above.
+type Level struct {
+	Name  string
+	Count int
+}
+
+// Link describes the uplink connecting an entity at some level to the
+// switch of its parent level (for the root-most level, to the data-center
+// network).
+type Link struct {
+	// Name identifies the interconnect technology, e.g. "NVSwitch",
+	// "NVLinkRing", "NIC".
+	Name string
+	// Bandwidth is the effective uni-directional bandwidth in bytes/second.
+	Bandwidth float64
+	// Latency is the per-message latency in seconds.
+	Latency float64
+}
+
+// CrossDomainModel captures intra-node structure that the analytic cost
+// model deliberately ignores (a modelling simplification the paper calls
+// out for V100, Fig. 9b): devices within one node are split into
+// PCIe/shared-memory domains, and transfers crossing domains are throttled.
+type CrossDomainModel struct {
+	// DomainsPerNode is how many equally sized domains each node's devices
+	// split into. Must divide the leaf-level count.
+	DomainsPerNode int
+	// Bandwidth is the effective bandwidth in bytes/second of the
+	// cross-domain path (e.g. PCIe + shared memory staging).
+	Bandwidth float64
+	// Latency is the additional per-message latency in seconds.
+	Latency float64
+}
+
+// System is a hierarchical accelerator system.
+type System struct {
+	// Name identifies the configuration, e.g. "a100-4node".
+	Name string
+	// Levels from root-most to leaf-most. The total device count is the
+	// product of all level counts.
+	Levels []Level
+	// Uplinks[l] is the link from a level-l entity up toward level l-1
+	// (or to the data-center network when l == 0). len(Uplinks) ==
+	// len(Levels).
+	Uplinks []Link
+	// CrossDomain optionally refines the leaf level for the event-level
+	// emulator. The analytic model ignores it.
+	CrossDomain *CrossDomainModel
+
+	radix *factor.Radix
+}
+
+// New constructs and validates a System.
+func New(name string, levels []Level, uplinks []Link) (*System, error) {
+	s := &System{
+		Name:    name,
+		Levels:  append([]Level(nil), levels...),
+		Uplinks: append([]Link(nil), uplinks...),
+	}
+	if err := s.init(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustNew is New panicking on error; intended for preset construction.
+func MustNew(name string, levels []Level, uplinks []Link) *System {
+	s, err := New(name, levels, uplinks)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *System) init() error {
+	if len(s.Levels) == 0 {
+		return fmt.Errorf("topology: system %q has no levels", s.Name)
+	}
+	if len(s.Uplinks) != len(s.Levels) {
+		return fmt.Errorf("topology: system %q has %d levels but %d uplinks",
+			s.Name, len(s.Levels), len(s.Uplinks))
+	}
+	sizes := make([]int, len(s.Levels))
+	for i, l := range s.Levels {
+		if l.Count <= 0 {
+			return fmt.Errorf("topology: level %q has non-positive count %d", l.Name, l.Count)
+		}
+		if l.Name == "" {
+			return fmt.Errorf("topology: level %d has empty name", i)
+		}
+		sizes[i] = l.Count
+	}
+	for i, u := range s.Uplinks {
+		if u.Bandwidth <= 0 {
+			return fmt.Errorf("topology: uplink %d (%s) has non-positive bandwidth", i, u.Name)
+		}
+		if u.Latency < 0 {
+			return fmt.Errorf("topology: uplink %d (%s) has negative latency", i, u.Name)
+		}
+	}
+	if cd := s.CrossDomain; cd != nil {
+		leaf := s.Levels[len(s.Levels)-1].Count
+		if cd.DomainsPerNode <= 0 || leaf%cd.DomainsPerNode != 0 {
+			return fmt.Errorf("topology: cross-domain count %d does not divide leaf count %d",
+				cd.DomainsPerNode, leaf)
+		}
+	}
+	s.radix = factor.NewRadix(sizes)
+	return nil
+}
+
+// WithCrossDomain returns a copy of s carrying the given cross-domain model.
+func (s *System) WithCrossDomain(cd CrossDomainModel) *System {
+	c := *s
+	c.CrossDomain = &cd
+	if err := c.init(); err != nil {
+		panic(err)
+	}
+	return &c
+}
+
+// NumLevels returns the number of hierarchy levels.
+func (s *System) NumLevels() int { return len(s.Levels) }
+
+// NumDevices returns the total number of leaf devices.
+func (s *System) NumDevices() int { return s.radix.Total() }
+
+// Hierarchy returns the level cardinalities [h0 ... hn].
+func (s *System) Hierarchy() []int { return s.radix.Sizes() }
+
+// Radix exposes the device-address codec (levels root-most first).
+func (s *System) Radix() *factor.Radix { return s.radix }
+
+// Coords decodes a device id into its per-level coordinates.
+func (s *System) Coords(dev int) []int { return s.radix.Decode(dev) }
+
+// Device encodes per-level coordinates into a device id.
+func (s *System) Device(coords []int) int { return s.radix.Encode(coords) }
+
+// DivergenceLevel returns the root-most level at which the addresses of a
+// and b differ, or -1 if a == b. Smaller return values mean communication
+// crosses a higher (typically slower) interconnect.
+func (s *System) DivergenceLevel(a, b int) int {
+	if a == b {
+		return -1
+	}
+	for l := 0; l < len(s.Levels); l++ {
+		if s.radix.Digit(a, l) != s.radix.Digit(b, l) {
+			return l
+		}
+	}
+	return -1
+}
+
+// GroupSpanLevel returns the root-most level at which any pair of devices
+// in the group differs: the level of the slowest interconnect the group's
+// collective traffic must cross. It returns -1 for groups of size < 2.
+func (s *System) GroupSpanLevel(group []int) int {
+	span := len(s.Levels)
+	found := false
+	for i := 1; i < len(group); i++ {
+		if d := s.DivergenceLevel(group[0], group[i]); d >= 0 {
+			found = true
+			if d < span {
+				span = d
+			}
+		}
+	}
+	if !found {
+		return -1
+	}
+	return span
+}
+
+// EntityID identifies the level-l entity (subtree) containing device dev:
+// the mixed-radix prefix of its address truncated at level l, encoded as a
+// single integer unique among level-l entities.
+func (s *System) EntityID(dev, l int) int {
+	id := 0
+	for i := 0; i <= l; i++ {
+		id = id*s.Levels[i].Count + s.radix.Digit(dev, i)
+	}
+	return id
+}
+
+// EntitiesAt returns the number of level-l entities in the whole system.
+func (s *System) EntitiesAt(l int) int {
+	n := 1
+	for i := 0; i <= l; i++ {
+		n *= s.Levels[i].Count
+	}
+	return n
+}
+
+// DeviceName renders a short human-readable device name. For systems whose
+// second-to-leaf level has <= 26 entities it uses the paper's Fig. 2a
+// convention (letter = parent entity, digit = leaf index), otherwise a
+// slash-separated coordinate path.
+func (s *System) DeviceName(dev int) string {
+	coords := s.Coords(dev)
+	n := len(coords)
+	if n >= 2 {
+		parents := s.EntitiesAt(n - 2)
+		if parents <= 26 {
+			return fmt.Sprintf("%c%d", 'A'+s.EntityID(dev, n-2), coords[n-1])
+		}
+	}
+	parts := make([]string, n)
+	for i, c := range coords {
+		parts[i] = fmt.Sprintf("%s%d", strings.ToLower(s.Levels[i].Name[:1]), c)
+	}
+	return strings.Join(parts, "/")
+}
+
+// String renders the hierarchy in the paper's bracket form, e.g.
+// "[(rack, 1), (server, 2), (CPU, 2), (GPU, 4)]".
+func (s *System) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, l := range s.Levels {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%s, %d)", l.Name, l.Count)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Clone returns a deep copy of the system.
+func (s *System) Clone() *System {
+	c := *s
+	c.Levels = append([]Level(nil), s.Levels...)
+	c.Uplinks = append([]Link(nil), s.Uplinks...)
+	if s.CrossDomain != nil {
+		cd := *s.CrossDomain
+		c.CrossDomain = &cd
+	}
+	if err := c.init(); err != nil {
+		panic(err)
+	}
+	return &c
+}
+
+// BottleneckLink returns the uplink traversed at the given span level: a
+// group spanning level l is bottlenecked by the uplink of level-l entities
+// (e.g. a cross-node group by the per-node NIC). For a within-entity group
+// at the leaf level this is the leaf uplink.
+func (s *System) BottleneckLink(spanLevel int) Link {
+	if spanLevel < 0 {
+		return Link{Name: "loopback", Bandwidth: 1e15, Latency: 0}
+	}
+	// A group that first diverges at level l sends traffic through the
+	// uplinks of level >= l entities; the slowest of those dominates.
+	best := s.Uplinks[spanLevel]
+	for l := spanLevel; l < len(s.Uplinks); l++ {
+		if s.Uplinks[l].Bandwidth < best.Bandwidth {
+			best = s.Uplinks[l]
+		}
+	}
+	return best
+}

@@ -1,0 +1,253 @@
+package topology
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFig2aBasics(t *testing.T) {
+	s := Fig2aSystem()
+	if got := s.NumDevices(); got != 16 {
+		t.Fatalf("NumDevices = %d, want 16", got)
+	}
+	if got := s.NumLevels(); got != 4 {
+		t.Fatalf("NumLevels = %d, want 4", got)
+	}
+	if got := s.Hierarchy(); !reflect.DeepEqual(got, []int{1, 2, 2, 4}) {
+		t.Fatalf("Hierarchy = %v", got)
+	}
+	want := "[(rack, 1), (server, 2), (CPU, 2), (GPU, 4)]"
+	if got := s.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestFig2aDeviceNames(t *testing.T) {
+	s := Fig2aSystem()
+	// Fig. 2a names the 16 GPUs A0..A3 (CPU A), B0..B3, C0..C3, D0..D3.
+	wants := map[int]string{
+		0:  "A0",
+		3:  "A3",
+		4:  "B0",
+		7:  "B3",
+		8:  "C0",
+		12: "D0",
+		15: "D3",
+	}
+	for dev, want := range wants {
+		if got := s.DeviceName(dev); got != want {
+			t.Errorf("DeviceName(%d) = %q, want %q", dev, got, want)
+		}
+	}
+}
+
+func TestCoordsRoundTrip(t *testing.T) {
+	s := Fig2aSystem()
+	for d := 0; d < s.NumDevices(); d++ {
+		if got := s.Device(s.Coords(d)); got != d {
+			t.Errorf("Device(Coords(%d)) = %d", d, got)
+		}
+	}
+}
+
+func TestDivergenceLevel(t *testing.T) {
+	s := Fig2aSystem()
+	cases := []struct {
+		a, b, want int
+	}{
+		{0, 0, -1},
+		{0, 1, 3},  // A0 vs A1: same CPU, differ at GPU level
+		{0, 4, 2},  // A0 vs B0: differ at CPU level
+		{0, 8, 1},  // A0 vs C0: differ at server level
+		{3, 15, 1}, // A3 vs D3
+		{4, 6, 3},  // B0 vs B2
+	}
+	for _, c := range cases {
+		if got := s.DivergenceLevel(c.a, c.b); got != c.want {
+			t.Errorf("DivergenceLevel(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDivergenceLevelSymmetric(t *testing.T) {
+	s := A100System(4)
+	f := func(x, y uint8) bool {
+		a := int(x) % s.NumDevices()
+		b := int(y) % s.NumDevices()
+		return s.DivergenceLevel(a, b) == s.DivergenceLevel(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupSpanLevel(t *testing.T) {
+	s := Fig2aSystem()
+	cases := []struct {
+		group []int
+		want  int
+	}{
+		{[]int{0}, -1},
+		{[]int{0, 1, 2, 3}, 3},
+		{[]int{0, 4}, 2},
+		{[]int{0, 1, 4, 5}, 2},
+		{[]int{0, 8}, 1},
+		{[]int{0, 4, 8, 12}, 1},
+	}
+	for _, c := range cases {
+		if got := s.GroupSpanLevel(c.group); got != c.want {
+			t.Errorf("GroupSpanLevel(%v) = %d, want %d", c.group, got, c.want)
+		}
+	}
+}
+
+func TestEntityID(t *testing.T) {
+	s := Fig2aSystem()
+	// Devices 0..3 share CPU entity; 4..7 the next.
+	for d := 0; d < 16; d++ {
+		if got, want := s.EntityID(d, 2), d/4; got != want {
+			t.Errorf("EntityID(%d, cpu) = %d, want %d", d, got, want)
+		}
+		if got, want := s.EntityID(d, 1), d/8; got != want {
+			t.Errorf("EntityID(%d, server) = %d, want %d", d, got, want)
+		}
+	}
+	if got := s.EntitiesAt(2); got != 4 {
+		t.Errorf("EntitiesAt(cpu) = %d, want 4", got)
+	}
+}
+
+func TestA100Preset(t *testing.T) {
+	for _, nodes := range []int{2, 4} {
+		s := A100System(nodes)
+		if got := s.NumDevices(); got != nodes*16 {
+			t.Errorf("A100System(%d).NumDevices = %d", nodes, got)
+		}
+		if !reflect.DeepEqual(s.Hierarchy(), []int{nodes, 16}) {
+			t.Errorf("A100System(%d).Hierarchy = %v", nodes, s.Hierarchy())
+		}
+		if s.Uplinks[0].Bandwidth != NICBandwidth {
+			t.Errorf("node uplink bandwidth = %v", s.Uplinks[0].Bandwidth)
+		}
+		if s.Uplinks[1].Bandwidth != A100SwitchBandwidth {
+			t.Errorf("gpu uplink bandwidth = %v", s.Uplinks[1].Bandwidth)
+		}
+		if s.CrossDomain != nil {
+			t.Error("A100 should have no cross-domain model")
+		}
+	}
+}
+
+func TestV100Preset(t *testing.T) {
+	s := V100System(4)
+	if got := s.NumDevices(); got != 32 {
+		t.Errorf("NumDevices = %d", got)
+	}
+	if s.CrossDomain == nil {
+		t.Fatal("V100 must carry a cross-domain model")
+	}
+	if s.CrossDomain.DomainsPerNode != 2 {
+		t.Errorf("DomainsPerNode = %d", s.CrossDomain.DomainsPerNode)
+	}
+	if s.Uplinks[1].Bandwidth != V100RingBandwidth {
+		t.Errorf("ring bandwidth = %v", s.Uplinks[1].Bandwidth)
+	}
+}
+
+func TestBottleneckLink(t *testing.T) {
+	s := A100System(4)
+	if got := s.BottleneckLink(1).Name; got != "NVSwitch" {
+		t.Errorf("within-node bottleneck = %s", got)
+	}
+	if got := s.BottleneckLink(0).Name; got != "NIC" {
+		t.Errorf("cross-node bottleneck = %s", got)
+	}
+	if got := s.BottleneckLink(-1); got.Bandwidth < 1e14 {
+		t.Errorf("loopback bandwidth too small: %v", got.Bandwidth)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		levels  []Level
+		uplinks []Link
+	}{
+		{"no levels", nil, nil},
+		{"mismatched uplinks", []Level{{"n", 2}}, nil},
+		{"zero count", []Level{{"n", 0}}, []Link{{"l", 1, 0}}},
+		{"empty name", []Level{{"", 2}}, []Link{{"l", 1, 0}}},
+		{"zero bandwidth", []Level{{"n", 2}}, []Link{{"l", 0, 0}}},
+		{"negative latency", []Level{{"n", 2}}, []Link{{"l", 1, -1}}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.name, c.levels, c.uplinks); err == nil {
+			t.Errorf("New(%s) succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := V100System(2)
+	c := s.Clone()
+	c.Levels[0].Count = 99
+	c.Uplinks[0].Bandwidth = 1
+	c.CrossDomain.DomainsPerNode = 4
+	if s.Levels[0].Count == 99 || s.Uplinks[0].Bandwidth == 1 || s.CrossDomain.DomainsPerNode == 4 {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestDeviceNameFallbackPath(t *testing.T) {
+	// 64 parents > 26 letters: falls back to coordinate path.
+	s := MustNew("big",
+		[]Level{{Name: "node", Count: 64}, {Name: "gpu", Count: 2}},
+		[]Link{{Name: "NIC", Bandwidth: 1e9}, {Name: "NVL", Bandwidth: 1e9}})
+	name := s.DeviceName(3)
+	if !strings.Contains(name, "/") {
+		t.Errorf("expected path-style name, got %q", name)
+	}
+}
+
+func TestWithCrossDomainValidation(t *testing.T) {
+	s := A100System(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid cross-domain model did not panic")
+		}
+	}()
+	s.WithCrossDomain(CrossDomainModel{DomainsPerNode: 3, Bandwidth: 1e9})
+}
+
+func TestSuperPodPreset(t *testing.T) {
+	s := SuperPodSystem(2, 4)
+	if got := s.NumDevices(); got != 64 {
+		t.Errorf("NumDevices = %d, want 64", got)
+	}
+	if got := s.NumLevels(); got != 3 {
+		t.Errorf("NumLevels = %d, want 3", got)
+	}
+	// Bandwidth must decrease going up the hierarchy.
+	if !(s.Uplinks[2].Bandwidth > s.Uplinks[1].Bandwidth &&
+		s.Uplinks[1].Bandwidth > s.Uplinks[0].Bandwidth) {
+		t.Error("uplink bandwidths not decreasing toward the root")
+	}
+	// Cross-pod traffic is bottlenecked by the spine uplink.
+	if got := s.BottleneckLink(0).Name; got != "Spine" {
+		t.Errorf("cross-pod bottleneck = %s", got)
+	}
+	if got := s.BottleneckLink(1).Name; got != "IBRail" {
+		t.Errorf("cross-node bottleneck = %s", got)
+	}
+}
+
+func TestSuperPodPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SuperPodSystem(0,0) did not panic")
+		}
+	}()
+	SuperPodSystem(0, 0)
+}

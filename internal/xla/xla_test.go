@@ -1,0 +1,188 @@
+package xla
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"p2/internal/collective"
+	"p2/internal/dsl"
+	"p2/internal/hierarchy"
+	"p2/internal/lower"
+	"p2/internal/placement"
+	"p2/internal/synth"
+)
+
+func loweredRSARAG(t *testing.T) *lower.Program {
+	t.Helper()
+	m, err := placement.NewMatrix([]int{4, 16}, []int{4, 16}, [][]int{{2, 2}, {2, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, []int{0}, hierarchy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := lower.Lower(dsl.Program{
+		{Slice: 1, Form: dsl.InsideGroup, Op: collective.ReduceScatter},
+		{Slice: 1, Form: dsl.Parallel, Arg: 0, Op: collective.AllReduce},
+		{Slice: 1, Form: dsl.InsideGroup, Op: collective.AllGather},
+	}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lp
+}
+
+func TestEmitShape(t *testing.T) {
+	lp := loweredRSARAG(t)
+	src, err := Emit(lp, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"HloModule p2_reduction",
+		"p = f32[4096] parameter(0)",
+		"reduce-scatter(p)",
+		"all-reduce(t0)",
+		"all-gather(t1)",
+		"to_apply=add",
+		"ROOT out = f32[4096] copy(t2)",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("emitted module missing %q:\n%s", want, src)
+		}
+	}
+	// ReduceScatter over groups of 2 halves the shape: 4096 → 2048.
+	if !strings.Contains(src, "t0 = f32[2048]") {
+		t.Errorf("reduce-scatter output shape wrong:\n%s", src)
+	}
+	if !strings.Contains(src, "t2 = f32[4096]") {
+		t.Errorf("all-gather output shape wrong:\n%s", src)
+	}
+}
+
+func TestEmitCustomCalls(t *testing.T) {
+	m, err := placement.NewMatrix([]int{4, 16}, []int{4, 16}, [][]int{{2, 2}, {2, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, []int{0}, hierarchy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := lower.Lower(dsl.Program{
+		{Slice: 1, Form: dsl.InsideGroup, Op: collective.Reduce},
+		{Slice: 1, Form: dsl.Master, Arg: 0, Op: collective.AllReduce},
+		{Slice: 1, Form: dsl.InsideGroup, Op: collective.Broadcast},
+	}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := Emit(lp, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, `custom_call_target="p2.reduce"`) {
+		t.Error("Reduce custom-call missing")
+	}
+	if !strings.Contains(src, `custom_call_target="p2.broadcast"`) {
+		t.Error("Broadcast custom-call missing")
+	}
+}
+
+func TestEmitRejectsIndivisiblePayload(t *testing.T) {
+	lp := loweredRSARAG(t)
+	if _, err := Emit(lp, 3); err == nil {
+		t.Error("payload indivisible by chunk count accepted")
+	}
+	if _, err := Emit(lp, 0); err == nil {
+		t.Error("zero payload accepted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	lp := loweredRSARAG(t)
+	src, err := Emit(lp, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse failed:\n%s\n%v", src, err)
+	}
+	if mod.Name != "p2_reduction" {
+		t.Errorf("module name = %q", mod.Name)
+	}
+	if mod.ParamElems != 4096 {
+		t.Errorf("param elems = %d", mod.ParamElems)
+	}
+	if len(mod.Instructions) != len(lp.Steps) {
+		t.Fatalf("instructions = %d, want %d", len(mod.Instructions), len(lp.Steps))
+	}
+	for i, inst := range mod.Instructions {
+		st := lp.Steps[i]
+		if inst.Op != st.Op {
+			t.Errorf("step %d: op %v, want %v", i, inst.Op, st.Op)
+		}
+		if !reflect.DeepEqual(inst.Groups, st.Groups) {
+			t.Errorf("step %d: groups differ:\n%v\n%v", i, inst.Groups, st.Groups)
+		}
+	}
+	// Operand chaining.
+	if mod.Instructions[0].Operand != "p" {
+		t.Errorf("first operand = %q", mod.Instructions[0].Operand)
+	}
+	if mod.Instructions[1].Operand != "t0" || mod.Instructions[2].Operand != "t1" {
+		t.Error("operand chain broken")
+	}
+}
+
+func TestRoundTripAllSynthesized(t *testing.T) {
+	m, err := placement.NewMatrix([]int{4, 16}, []int{4, 16}, [][]int{{2, 2}, {2, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, []int{0}, hierarchy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := synth.Synthesize(h, synth.Options{MaxSize: 3})
+	for _, p := range res.Programs {
+		lp, err := lower.Lower(p, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := Emit(lp, 64)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		mod, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%v: parse: %v", p, err)
+		}
+		if len(mod.Instructions) != len(lp.Steps) {
+			t.Errorf("%v: %d instructions for %d steps", p, len(mod.Instructions), len(lp.Steps))
+		}
+		for i, inst := range mod.Instructions {
+			if inst.Op != lp.Steps[i].Op || !reflect.DeepEqual(inst.Groups, lp.Steps[i].Groups) {
+				t.Errorf("%v: step %d mismatch", p, i)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"ENTRY reduction {\n}\n",
+		"HloModule m\nENTRY e {\n}\n",
+		"HloModule m\nENTRY e {\n  p = f32[8] parameter(0)\n  t0 = f32[8] warp(p), replica_groups={{0,1}}\n}\n",
+		"HloModule m\nENTRY e {\n  p = f32[8] parameter(0)\n  t0 = f32[8] all-reduce(p), replica_groups={{a}}\n}\n",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse accepted %q", src)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package p2
+
+import (
+	"fmt"
+	"sort"
+
+	"p2/internal/netsim"
+)
+
+// Reduction describes one recurring reduction of a training step for joint
+// placement planning: which axes it reduces over, how many bytes each
+// occurrence moves, and how often it occurs per step.
+type Reduction struct {
+	// ReduceAxes are the axis indices reduced over.
+	ReduceAxes []int
+	// Bytes is the per-device payload of one occurrence.
+	Bytes float64
+	// Count is how many times the reduction runs per training step
+	// (e.g. twice per transformer layer for tensor-parallel AllReduce);
+	// 0 means 1.
+	Count float64
+	// Algo is the modelled NCCL algorithm (default Ring).
+	Algo Algorithm
+}
+
+// JointChoice is the outcome for one placement: the best strategy per
+// reduction and the weighted total communication time per step.
+type JointChoice struct {
+	Matrix *Matrix
+	// PerReduction[i] is the fastest-predicted strategy for reductions[i]
+	// under this placement.
+	PerReduction []*Strategy
+	// Costs[i] is Count_i × predicted seconds of PerReduction[i].
+	Costs []float64
+	// Total is the summed per-step communication time.
+	Total float64
+}
+
+// MeasureConcurrent emulates the choice's per-reduction strategies running
+// at the same time on the shared network (different streams contending for
+// the same links) and returns per-reduction completion times. Compare with
+// Costs, which assumes the reductions run back to back.
+func (c *JointChoice) MeasureConcurrent() []float64 {
+	if len(c.PerReduction) == 0 {
+		return nil
+	}
+	first := c.PerReduction[0]
+	sim := &netsim.Simulator{Sys: first.sys, Algo: first.algo, Bytes: first.bytes}
+	specs := make([]netsim.ConcurrentSpec, len(c.PerReduction))
+	for i, s := range c.PerReduction {
+		specs[i] = netsim.ConcurrentSpec{
+			Program: s.lowered,
+			Bytes:   s.bytes,
+			Algo:    s.algo,
+			HasAlgo: true,
+		}
+	}
+	return sim.MeasureConcurrentSpecs(specs)
+}
+
+// JointPlan ranks every placement by the combined cost of all requested
+// reductions.
+type JointPlan struct {
+	// Choices are all placements, cheapest total first.
+	Choices []*JointChoice
+	System  *System
+	Axes    []int
+}
+
+// Best returns the placement minimizing total per-step communication.
+func (jp *JointPlan) Best() *JointChoice { return jp.Choices[0] }
+
+// PlanJoint evaluates every placement of the axes against all reductions
+// jointly — the §4.1 observation that "models with multiple parallelism
+// forms involve reductions across both axes, and the selection of a mapping
+// should take all of them into account" turned into an API.
+func PlanJoint(sys *System, axes []int, reductions []Reduction) (*JointPlan, error) {
+	if len(reductions) == 0 {
+		return nil, fmt.Errorf("p2: PlanJoint needs at least one reduction")
+	}
+	matrices, err := Placements(sys, axes)
+	if err != nil {
+		return nil, err
+	}
+	jp := &JointPlan{System: sys, Axes: axes}
+	for _, m := range matrices {
+		choice := &JointChoice{Matrix: m}
+		for _, red := range reductions {
+			plan, err := Plan(sys, Request{
+				Axes:       axes,
+				ReduceAxes: red.ReduceAxes,
+				Algo:       red.Algo,
+				Bytes:      red.Bytes,
+				Matrix:     m,
+			})
+			if err != nil {
+				return nil, err
+			}
+			best := plan.Best()
+			count := red.Count
+			if count <= 0 {
+				count = 1
+			}
+			choice.PerReduction = append(choice.PerReduction, best)
+			choice.Costs = append(choice.Costs, count*best.Predicted)
+			choice.Total += count * best.Predicted
+		}
+		jp.Choices = append(jp.Choices, choice)
+	}
+	sort.SliceStable(jp.Choices, func(i, j int) bool {
+		return jp.Choices[i].Total < jp.Choices[j].Total
+	})
+	return jp, nil
+}

@@ -1,0 +1,115 @@
+package p2
+
+import (
+	"testing"
+)
+
+func TestPlanJointMegatronStyle(t *testing.T) {
+	sys := A100System(4)
+	jp, err := PlanJoint(sys, []int{8, 8}, []Reduction{
+		{ReduceAxes: []int{0}, Bytes: 64e6, Count: 96}, // activations, tensor axis
+		{ReduceAxes: []int{1}, Bytes: 1.5e9},           // gradients, data axis
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jp.Choices) != 3 {
+		t.Fatalf("choices = %d, want 3 placements", len(jp.Choices))
+	}
+	// Ranking is ascending by total.
+	for i := 1; i < len(jp.Choices); i++ {
+		if jp.Choices[i-1].Total > jp.Choices[i].Total {
+			t.Fatal("choices not sorted by total")
+		}
+	}
+	best := jp.Best()
+	// With heavy per-step activation traffic, the tensor axis must stay
+	// inside a node: best matrix is [[1 8] [4 2]].
+	if got := best.Matrix.String(); got != "[[1 8] [4 2]]" {
+		t.Errorf("best joint placement = %s, want [[1 8] [4 2]]", got)
+	}
+	if len(best.PerReduction) != 2 || len(best.Costs) != 2 {
+		t.Fatal("per-reduction results missing")
+	}
+	sum := best.Costs[0] + best.Costs[1]
+	if diff := sum - best.Total; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("Total %v != sum of costs %v", best.Total, sum)
+	}
+}
+
+func TestPlanJointWeightSensitivity(t *testing.T) {
+	// When the data-axis gradient reduction dominates (huge payload, no
+	// activation traffic), the best placement flips to the one keeping
+	// the data axis local: [[4 2] [1 8]].
+	sys := A100System(4)
+	jp, err := PlanJoint(sys, []int{8, 8}, []Reduction{
+		{ReduceAxes: []int{0}, Bytes: 1e3}, // negligible
+		{ReduceAxes: []int{1}, Bytes: 8e9}, // dominant
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := jp.Best().Matrix.String(); got != "[[4 2] [1 8]]" {
+		t.Errorf("best placement = %s, want [[4 2] [1 8]]", got)
+	}
+}
+
+func TestPlanJointCountWeighting(t *testing.T) {
+	// Count multiplies the per-occurrence cost.
+	sys := V100System(2)
+	one, err := PlanJoint(sys, []int{4, 4}, []Reduction{
+		{ReduceAxes: []int{0}, Bytes: 1e8, Count: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten, err := PlanJoint(sys, []int{4, 4}, []Reduction{
+		{ReduceAxes: []int{0}, Bytes: 1e8, Count: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := ten.Best().Total / one.Best().Total
+	if ratio < 9.99 || ratio > 10.01 {
+		t.Errorf("count weighting ratio = %v, want 10", ratio)
+	}
+}
+
+func TestPlanJointErrors(t *testing.T) {
+	sys := A100System(2)
+	if _, err := PlanJoint(sys, []int{8, 4}, nil); err == nil {
+		t.Error("empty reductions accepted")
+	}
+	if _, err := PlanJoint(sys, []int{5, 5}, []Reduction{{ReduceAxes: []int{0}, Bytes: 1}}); err == nil {
+		t.Error("invalid axes accepted")
+	}
+	if _, err := PlanJoint(sys, []int{8, 4}, []Reduction{{ReduceAxes: []int{9}, Bytes: 1}}); err == nil {
+		t.Error("invalid reduce axis accepted")
+	}
+}
+
+func TestJointMeasureConcurrent(t *testing.T) {
+	sys := A100System(2)
+	jp, err := PlanJoint(sys, []int{8, 4}, []Reduction{
+		{ReduceAxes: []int{0}, Bytes: 1e9},
+		{ReduceAxes: []int{1}, Bytes: 2e9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := jp.Best()
+	times := best.MeasureConcurrent()
+	if len(times) != 2 {
+		t.Fatalf("times = %v", times)
+	}
+	for i, v := range times {
+		if v <= 0 {
+			t.Errorf("reduction %d time %v", i, v)
+		}
+		// Concurrent completion can't beat the reduction running alone.
+		solo := best.PerReduction[i].Measure()
+		if v < solo*0.999 {
+			t.Errorf("reduction %d concurrent (%v) faster than solo (%v)", i, v, solo)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package p2 is a Go implementation of P², the parallelism-placement and
+// reduction-strategy synthesizer of "Synthesizing Optimal Parallelism
+// Placement and Reduction Strategies on Hierarchical Systems for Deep
+// Learning" (MLSys 2022).
+//
+// Given a hierarchical accelerator system (nodes, switches, NICs with their
+// bandwidths), the sizes of the parallelism axes of a training job (data
+// parallelism, parameter sharding, ...), and the axes a gradient reduction
+// runs over, p2:
+//
+//  1. enumerates every topology-aware parallelism placement (a parallelism
+//     matrix mapping axes onto hierarchy levels),
+//  2. synthesizes every semantically valid reduction program — sequences of
+//     AllReduce / ReduceScatter / AllGather / Reduce / Broadcast steps over
+//     hierarchy-derived device groups — per placement, and
+//  3. ranks all (placement, program) pairs with a topology-aware analytic
+//     cost model, so that only a handful of candidates need measuring.
+//
+// The typical entry point is Plan:
+//
+//	plan, err := p2.Plan(p2.A100System(4), p2.Request{
+//		Axes:       []int{4, 16}, // data parallel × parameter shards
+//		ReduceAxes: []int{0},     // reduce gradients across data parallelism
+//	})
+//	best := plan.Strategies[0] // fastest predicted (placement, program)
+//
+// An event-level network emulator (Strategy.Measure) stands in for real
+// hardware; see DESIGN.md for the substitution rationale.
+package p2
+
+import (
+	"fmt"
+	"sort"
+
+	"p2/internal/cost"
+	"p2/internal/dsl"
+	"p2/internal/hierarchy"
+	"p2/internal/lower"
+	"p2/internal/netsim"
+	"p2/internal/placement"
+	"p2/internal/synth"
+	"p2/internal/topology"
+)
+
+// System is a hierarchical accelerator system (re-exported from the
+// topology layer). Construct one with NewSystem or use the presets.
+type System = topology.System
+
+// Level is one tier of a system hierarchy.
+type Level = topology.Level
+
+// Link describes an interconnect uplink (bandwidth in bytes/s).
+type Link = topology.Link
+
+// Matrix is a parallelism placement matrix.
+type Matrix = placement.Matrix
+
+// Program is a reduction program in the paper's DSL.
+type Program = dsl.Program
+
+// Algorithm selects the modelled NCCL algorithm.
+type Algorithm = cost.Algorithm
+
+// Re-exported algorithm constants.
+const (
+	Ring = cost.Ring
+	Tree = cost.Tree
+)
+
+// NewSystem builds a custom system; levels are ordered root-most first and
+// uplinks align with levels.
+func NewSystem(name string, levels []Level, uplinks []Link) (*System, error) {
+	return topology.New(name, levels, uplinks)
+}
+
+// A100System is the paper's Fig. 9a preset: nodes × 16 A100 GPUs behind one
+// NVSwitch and one NIC per node.
+func A100System(nodes int) *System { return topology.A100System(nodes) }
+
+// V100System is the paper's Fig. 9b preset: nodes × 8 V100 GPUs on an
+// NVLink ring with a shared NIC per node.
+func V100System(nodes int) *System { return topology.V100System(nodes) }
+
+// Fig2aSystem is the paper's running example: 1 rack × 2 servers × 2 CPUs
+// × 4 GPUs.
+func Fig2aSystem() *System { return topology.Fig2aSystem() }
+
+// SuperPodSystem is a three-level DGX-style cluster: pods × nodes × 8 GPUs
+// with NVSwitch, InfiniBand rails and an oversubscribed spine.
+func SuperPodSystem(pods, nodesPerPod int) *System {
+	return topology.SuperPodSystem(pods, nodesPerPod)
+}
+
+// Placements enumerates every parallelism matrix mapping the given axes
+// onto the system hierarchy (§3.1).
+func Placements(sys *System, axes []int) ([]*Matrix, error) {
+	return placement.Enumerate(sys.Hierarchy(), axes)
+}
+
+// Request describes what to synthesize.
+type Request struct {
+	// Axes are the parallelism axis sizes; their product must equal the
+	// system's device count.
+	Axes []int
+	// ReduceAxes are the axis indices the reduction runs over.
+	ReduceAxes []int
+	// Algo is the NCCL algorithm to model (default Ring).
+	Algo Algorithm
+	// Bytes is the per-device payload in bytes (default: the paper's
+	// 2^29 × nodes float32).
+	Bytes float64
+	// MaxProgramSize limits synthesized program length (default 5).
+	MaxProgramSize int
+	// Matrix restricts synthesis to a single placement instead of
+	// enumerating all of them.
+	Matrix *Matrix
+}
+
+// Strategy is one candidate (placement, program) pair with its predicted
+// runtime.
+type Strategy struct {
+	Matrix    *Matrix
+	Program   Program
+	Predicted float64 // analytic model estimate, seconds
+
+	lowered *lower.Program
+	sys     *System
+	algo    Algorithm
+	bytes   float64
+}
+
+// Lowered exposes the physical collective steps of the strategy.
+func (s *Strategy) Lowered() *lower.Program { return s.lowered }
+
+// Measure runs the strategy on the event-level network emulator and
+// returns the emulated runtime in seconds.
+func (s *Strategy) Measure() float64 {
+	sim := &netsim.Simulator{Sys: s.sys, Algo: s.algo, Bytes: s.bytes}
+	return sim.Measure(s.lowered)
+}
+
+// Trace measures the strategy while recording every transfer, returning
+// the events for visualization (see internal/trace for Chrome export).
+func (s *Strategy) Trace() (float64, []netsim.Event) {
+	var events []netsim.Event
+	sim := &netsim.Simulator{Sys: s.sys, Algo: s.algo, Bytes: s.bytes,
+		Recorder: func(ev netsim.Event) { events = append(events, ev) }}
+	return sim.Measure(s.lowered), events
+}
+
+// Pipelined predicts the strategy's runtime when the payload is split
+// into the given number of buckets flowing through its steps as a
+// pipeline (gradient bucketing).
+func (s *Strategy) Pipelined(buckets int) float64 {
+	model := &cost.Model{Sys: s.sys, Algo: s.algo, Bytes: s.bytes}
+	return model.PipelinedTime(s.lowered, buckets)
+}
+
+// OptimalBuckets returns the bucket count (1..max) minimizing the
+// pipelined prediction, with the predicted time.
+func (s *Strategy) OptimalBuckets(max int) (int, float64) {
+	model := &cost.Model{Sys: s.sys, Algo: s.algo, Bytes: s.bytes}
+	return cost.OptimalBuckets(model, s.lowered, max)
+}
+
+// String renders the strategy compactly.
+func (s *Strategy) String() string {
+	return fmt.Sprintf("%v via %v (predicted %.3fs)", s.Matrix, s.Program, s.Predicted)
+}
+
+// Plan is the ranked synthesis result.
+type PlanResult struct {
+	// Strategies are all candidates, fastest predicted first.
+	Strategies []*Strategy
+	// Request echoes the planned request (with defaults applied).
+	Request Request
+	System  *System
+}
+
+// Best returns the fastest-predicted strategy.
+func (p *PlanResult) Best() *Strategy { return p.Strategies[0] }
+
+// BaselineFor returns the single-AllReduce strategy for the given matrix,
+// or nil if the matrix was not part of the plan.
+func (p *PlanResult) BaselineFor(m *Matrix) *Strategy {
+	base := synth.BaselineAllReduce().String()
+	for _, s := range p.Strategies {
+		if s.Matrix.Equal(m) && s.Program.String() == base {
+			return s
+		}
+	}
+	return nil
+}
+
+// Plan enumerates placements (or uses req.Matrix), synthesizes every valid
+// reduction program for each, predicts every candidate's runtime and
+// returns them ranked.
+func Plan(sys *System, req Request) (*PlanResult, error) {
+	if req.Bytes <= 0 {
+		req.Bytes = cost.PayloadBytes(sys.Levels[0].Count)
+	}
+	var matrices []*Matrix
+	if req.Matrix != nil {
+		matrices = []*Matrix{req.Matrix}
+	} else {
+		var err error
+		matrices, err = Placements(sys, req.Axes)
+		if err != nil {
+			return nil, err
+		}
+	}
+	model := &cost.Model{Sys: sys, Algo: req.Algo, Bytes: req.Bytes}
+	res := &PlanResult{Request: req, System: sys}
+	for _, m := range matrices {
+		opts := hierarchy.Options{Collapse: len(req.ReduceAxes) > 1}
+		h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, req.ReduceAxes, opts)
+		if err != nil {
+			return nil, err
+		}
+		sres := synth.Synthesize(h, synth.Options{MaxSize: req.MaxProgramSize})
+		for _, prog := range sres.Programs {
+			lp, err := lower.Lower(prog, h)
+			if err != nil {
+				return nil, err
+			}
+			res.Strategies = append(res.Strategies, &Strategy{
+				Matrix:    m,
+				Program:   prog,
+				Predicted: model.ProgramTime(lp),
+				lowered:   lp,
+				sys:       sys,
+				algo:      req.Algo,
+				bytes:     req.Bytes,
+			})
+		}
+	}
+	if len(res.Strategies) == 0 {
+		return nil, fmt.Errorf("p2: no valid strategies for axes %v reduce %v", req.Axes, req.ReduceAxes)
+	}
+	sort.SliceStable(res.Strategies, func(i, j int) bool {
+		return res.Strategies[i].Predicted < res.Strategies[j].Predicted
+	})
+	return res, nil
+}
+
+// ParseMatrix parses the paper's matrix notation, e.g. "[[1 4] [4 4]]",
+// validating it against the system hierarchy and axes.
+func ParseMatrix(sys *System, axes []int, s string) (*Matrix, error) {
+	return placement.ParseMatrix(s, sys.Hierarchy(), axes)
+}
+
+// ParseProgram parses a reduction program printed by Program.String.
+func ParseProgram(s string) (Program, error) { return dsl.Parse(s) }

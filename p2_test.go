@@ -1,0 +1,168 @@
+package p2
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestPlanA100(t *testing.T) {
+	plan, err := Plan(A100System(4), Request{Axes: []int{4, 16}, ReduceAxes: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Strategies) < 9 { // 3 matrices × ≥3 programs
+		t.Fatalf("strategies = %d", len(plan.Strategies))
+	}
+	best := plan.Best()
+	// The best placement keeps the reduction axis inside a node, where
+	// the plain AllReduce is optimal (paper Result 3).
+	if got := best.Matrix.String(); got != "[[1 4] [4 4]]" {
+		t.Errorf("best matrix = %s, want [[1 4] [4 4]]", got)
+	}
+	if best.Predicted <= 0 {
+		t.Error("non-positive prediction")
+	}
+	// Ranking is ascending.
+	for i := 1; i < len(plan.Strategies); i++ {
+		if plan.Strategies[i-1].Predicted > plan.Strategies[i].Predicted {
+			t.Fatal("strategies not sorted by prediction")
+		}
+	}
+}
+
+func TestPlanSingleMatrix(t *testing.T) {
+	sys := A100System(4)
+	m, err := ParseMatrix(sys, []int{4, 16}, "[[2 2] [2 8]]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Plan(sys, Request{Axes: []int{4, 16}, ReduceAxes: []int{0}, Matrix: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range plan.Strategies {
+		if !s.Matrix.Equal(m) {
+			t.Fatalf("strategy for unexpected matrix %v", s.Matrix)
+		}
+	}
+	base := plan.BaselineFor(m)
+	if base == nil {
+		t.Fatal("baseline missing")
+	}
+	if plan.Best().Predicted >= base.Predicted {
+		t.Error("cross-node plan should beat the AllReduce baseline")
+	}
+}
+
+func TestStrategyMeasure(t *testing.T) {
+	plan, err := Plan(V100System(2), Request{Axes: []int{4, 4}, ReduceAxes: []int{1}, Bytes: 1e8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.Best()
+	meas := s.Measure()
+	if meas <= 0 {
+		t.Errorf("measured %v", meas)
+	}
+	if s.Lowered() == nil || len(s.Lowered().Steps) == 0 {
+		t.Error("lowered program missing")
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	if _, err := Plan(A100System(2), Request{Axes: []int{3}, ReduceAxes: []int{0}}); err == nil {
+		t.Error("bad axes accepted")
+	}
+	if _, err := Plan(A100System(2), Request{Axes: []int{32}, ReduceAxes: []int{7}}); err == nil {
+		t.Error("bad reduce axis accepted")
+	}
+}
+
+func TestParseProgram(t *testing.T) {
+	p, err := ParseProgram("(0, InsideGroup, AllReduce)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 1 {
+		t.Fatalf("parsed %d instructions", len(p))
+	}
+	if _, err := ParseProgram("nonsense"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestPlacements(t *testing.T) {
+	ms, err := Placements(A100System(4), []int{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Errorf("placements = %d, want 3", len(ms))
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	plan, err := Plan(V100System(2), Request{Axes: []int{16}, ReduceAxes: []int{0}, Bytes: 1e8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.Best().String()
+	if !strings.Contains(s, "predicted") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func ExamplePlan() {
+	// Plan gradient reduction for data parallelism (axis 0, size 4)
+	// combined with 16-way parameter sharding on a 4-node A100 system.
+	plan, err := Plan(A100System(4), Request{
+		Axes:       []int{4, 16},
+		ReduceAxes: []int{0},
+	})
+	if err != nil {
+		panic(err)
+	}
+	best := plan.Best()
+	fmt.Println("placement:", best.Matrix)
+	fmt.Println("program:  ", best.Program)
+	// Output:
+	// placement: [[1 4] [4 4]]
+	// program:   (0, InsideGroup, AllReduce)
+}
+
+func TestStrategyTrace(t *testing.T) {
+	plan, err := Plan(V100System(2), Request{Axes: []int{4, 4}, ReduceAxes: []int{1}, Bytes: 1e8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, events := plan.Best().Trace()
+	if total <= 0 || len(events) == 0 {
+		t.Fatalf("Trace: total=%v events=%d", total, len(events))
+	}
+	for _, ev := range events {
+		if ev.End > total+1e-9 {
+			t.Errorf("event ends (%v) after total (%v)", ev.End, total)
+		}
+	}
+}
+
+func TestStrategyPipelined(t *testing.T) {
+	plan, err := Plan(A100System(4), Request{Axes: []int{4, 16}, ReduceAxes: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the RS-AR-AG strategy for the cross-node matrix.
+	for _, s := range plan.Strategies {
+		if s.Matrix.String() != "[[2 2] [2 8]]" || len(s.Lowered().Steps) != 3 {
+			continue
+		}
+		one := s.Pipelined(1)
+		b, best := s.OptimalBuckets(32)
+		if b > 1 && best >= one {
+			t.Errorf("optimal buckets %d with time %v not better than %v", b, best, one)
+		}
+		return
+	}
+	t.Skip("no 3-step strategy found for the cross-node matrix")
+}
