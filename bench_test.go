@@ -11,9 +11,11 @@ package p2_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
+	"p2"
 	"p2/internal/collective"
 	"p2/internal/cost"
 	"p2/internal/dsl"
@@ -438,6 +440,87 @@ func BenchmarkNetsimMeasure(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sim.Measure(lp)
 	}
+}
+
+// --- Planning engine: serial vs parallel memoized (DESIGN.md §6) -----------
+
+// benchPlanEngine compares the serial reference path against the
+// parallel memoized engine on one request. The parallel engine owes its
+// advantage to two effects measured here separately: placement fan-out
+// over GOMAXPROCS workers, and synthesis sharing between placements with
+// equal hierarchy signatures (the serial path re-synthesizes per
+// placement).
+func benchPlanEngine(b *testing.B, sys *topology.System, axes, red []int) {
+	req := p2.Request{Axes: axes, ReduceAxes: red}
+	stat, err := p2.Plan(sys, req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printArtifact(fmt.Sprintf("Planning engine — %s axes %v", sys.Name, axes),
+		fmt.Sprintf("placements=%d synthRuns=%d memoHits=%d candidates=%d workers<=%d\n",
+			stat.Stats.Placements, stat.Stats.SynthRuns, stat.Stats.MemoHits,
+			stat.Stats.Candidates, runtime.GOMAXPROCS(0)))
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p2.PlanSerial(sys, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p2.Plan(sys, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel-top8", func(b *testing.B) {
+		r := req
+		r.TopK = 8
+		for i := 0; i < b.N; i++ {
+			if _, err := p2.Plan(sys, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPlanSuperPod2x4 is the medium configuration: 64 devices,
+// 6 placements.
+func BenchmarkPlanSuperPod2x4(b *testing.B) {
+	benchPlanEngine(b, topology.SuperPodSystem(2, 4), []int{8, 8}, []int{0})
+}
+
+// BenchmarkPlanSuperPod4x8 is the acceptance-scale configuration: 256
+// devices, 10 placements, ~5.5k strategies. Parallel must beat serial
+// here (EXPERIMENTS.md records a reference run).
+func BenchmarkPlanSuperPod4x8(b *testing.B) {
+	benchPlanEngine(b, topology.SuperPodSystem(4, 8), []int{16, 16}, []int{0})
+}
+
+// BenchmarkPlanJointEngine compares serial and parallel joint planning
+// (two reductions à la Megatron data × tensor parallelism).
+func BenchmarkPlanJointEngine(b *testing.B) {
+	sys := topology.SuperPodSystem(2, 4)
+	axes := []int{8, 8}
+	reductions := []p2.Reduction{
+		{ReduceAxes: []int{0}, Bytes: 1 << 30},
+		{ReduceAxes: []int{1}, Bytes: 1 << 26, Count: 48},
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p2.PlanJointSerial(sys, axes, reductions); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p2.PlanJoint(sys, axes, reductions); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- Extensions beyond the paper -------------------------------------------

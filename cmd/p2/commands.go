@@ -23,26 +23,30 @@ import (
 
 // commonFlags bundles the flags shared by most subcommands.
 type commonFlags struct {
-	fs      *flag.FlagSet
-	sysName *string
-	nodes   *int
-	axes    *string
-	reduce  *string
-	algo    *string
-	matrix  *string
+	fs          *flag.FlagSet
+	sysName     *string
+	nodes       *int
+	axes        *string
+	reduce      *string
+	algo        *string
+	matrix      *string
+	parallelism *int
+	topk        *int
 }
 
 func newCommon(name string, out io.Writer) *commonFlags {
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
 	fs.SetOutput(out)
 	return &commonFlags{
-		fs:      fs,
-		sysName: fs.String("system", "a100", "system preset: a100, v100 or fig2a"),
-		nodes:   fs.Int("nodes", 4, "number of nodes (a100/v100 presets)"),
-		axes:    fs.String("axes", "", `parallelism axes, e.g. "[4 16]"`),
-		reduce:  fs.String("reduce", "[0]", `reduction axes, e.g. "[0]" or "[0 2]"`),
-		algo:    fs.String("algo", "Ring", "NCCL algorithm: Ring or Tree"),
-		matrix:  fs.String("matrix", "", `restrict to one matrix, e.g. "[[2 2] [2 8]]"`),
+		fs:          fs,
+		sysName:     fs.String("system", "a100", "system preset: a100, v100 or fig2a"),
+		nodes:       fs.Int("nodes", 4, "number of nodes (a100/v100 presets)"),
+		axes:        fs.String("axes", "", `parallelism axes, e.g. "[4 16]"`),
+		reduce:      fs.String("reduce", "[0]", `reduction axes, e.g. "[0]" or "[0 2]"`),
+		algo:        fs.String("algo", "Ring", "NCCL algorithm: Ring or Tree"),
+		matrix:      fs.String("matrix", "", `restrict to one matrix, e.g. "[[2 2] [2 8]]"`),
+		parallelism: fs.Int("parallelism", 0, "planner worker pool size (0 = GOMAXPROCS, 1 = sequential)"),
+		topk:        fs.Int("topk", 0, "keep only the K fastest-predicted strategies (0 = all)"),
 	}
 }
 
@@ -76,11 +80,13 @@ func buildSystem(name string, nodes int) (*topology.System, error) {
 	}
 }
 
-// planFor wraps p2.Plan with optional matrix restriction from a CLI flag.
-func planFor(sys *topology.System, axes, red []int, algo cost.Algorithm, matStr string) (*p2.PlanResult, error) {
-	req := p2.Request{Axes: axes, ReduceAxes: red, Algo: algo}
-	if matStr != "" {
-		m, err := p2.ParseMatrix(sys, axes, matStr)
+// planFor wraps p2.Plan with optional matrix restriction and engine
+// options from the CLI flags.
+func (c *commonFlags) planFor(sys *topology.System, axes, red []int, algo cost.Algorithm) (*p2.PlanResult, error) {
+	req := p2.Request{Axes: axes, ReduceAxes: red, Algo: algo,
+		Parallelism: *c.parallelism, TopK: *c.topk}
+	if *c.matrix != "" {
+		m, err := p2.ParseMatrix(sys, axes, *c.matrix)
 		if err != nil {
 			return nil, err
 		}
@@ -128,7 +134,7 @@ func cmdSynth(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	plan, err := planFor(sys, axes, red, algo, *c.matrix)
+	plan, err := c.planFor(sys, axes, red, algo)
 	if err != nil {
 		return err
 	}
@@ -228,7 +234,7 @@ func cmdHLO(args []string, out io.Writer) error {
 			return err
 		}
 	} else {
-		plan, err := planFor(sys, axes, red, algo, *c.matrix)
+		plan, err := c.planFor(sys, axes, red, algo)
 		if err != nil {
 			return err
 		}
@@ -315,7 +321,7 @@ func cmdTrace(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	plan, err := planFor(sys, axes, red, algo, *c.matrix)
+	plan, err := c.planFor(sys, axes, red, algo)
 	if err != nil {
 		return err
 	}

@@ -67,6 +67,39 @@ func TestSynthCommand(t *testing.T) {
 	}
 }
 
+func TestSynthParallelismAndTopK(t *testing.T) {
+	// The ranking must not depend on the worker count, and -topk must
+	// return the identical leading strategies.
+	ref, errOut, code := exec("synth", "-system", "a100", "-nodes", "2",
+		"-axes", "[4 8]", "-reduce", "[0]", "-parallelism", "1", "-top", "5")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	par, errOut, code := exec("synth", "-system", "a100", "-nodes", "2",
+		"-axes", "[4 8]", "-reduce", "[0]", "-parallelism", "4", "-top", "5")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if par != ref {
+		t.Errorf("-parallelism 4 output differs from -parallelism 1:\n%s\nvs\n%s", par, ref)
+	}
+	topk, errOut, code := exec("synth", "-system", "a100", "-nodes", "2",
+		"-axes", "[4 8]", "-reduce", "[0]", "-parallelism", "4", "-topk", "5", "-top", "5")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	// Same 5 leading strategies; only the reported total count differs.
+	refLines := strings.SplitN(ref, "\n", 2)
+	topkLines := strings.SplitN(topk, "\n", 2)
+	if !strings.Contains(topkLines[0], "5 strategies") {
+		t.Errorf("-topk 5 header: %q", topkLines[0])
+	}
+	if topkLines[1] != refLines[1] {
+		t.Errorf("-topk 5 strategies differ from full ranking prefix:\n%s\nvs\n%s",
+			topkLines[1], refLines[1])
+	}
+}
+
 func TestSynthWithMatrix(t *testing.T) {
 	out, _, code := exec("synth", "-system", "a100", "-nodes", "2",
 		"-axes", "[4 8]", "-reduce", "[0]", "-matrix", "[[2 2] [1 8]]", "-top", "0")

@@ -1,0 +1,163 @@
+// Equivalence tests for the parallel memoized planning engine: the
+// parallel path must produce byte-identical strategy rankings to the
+// serial reference (PlanSerial / PlanJointSerial) at every parallelism
+// level, and TopK must be an exact prefix of the full ranking.
+package p2_test
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"p2"
+)
+
+// planFingerprint renders a ranking byte-exactly: placement, program and
+// the raw float64 bits of the prediction, one strategy per line.
+func planFingerprint(res *p2.PlanResult) string {
+	var b strings.Builder
+	for _, s := range res.Strategies {
+		fmt.Fprintf(&b, "%v|%v|%016x\n", s.Matrix, s.Program, math.Float64bits(s.Predicted))
+	}
+	return b.String()
+}
+
+func jointFingerprint(jp *p2.JointPlan) string {
+	var b strings.Builder
+	for _, c := range jp.Choices {
+		fmt.Fprintf(&b, "%v|%016x", c.Matrix, math.Float64bits(c.Total))
+		for i, s := range c.PerReduction {
+			fmt.Fprintf(&b, "|%v@%016x*%016x", s.Program,
+				math.Float64bits(s.Predicted), math.Float64bits(c.Costs[i]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+var determinismCases = []struct {
+	name string
+	sys  *p2.System
+	axes []int
+	red  []int
+}{
+	{"fig2a", p2.Fig2aSystem(), []int{4, 4}, []int{0}},
+	{"fig2a-multi-axis", p2.Fig2aSystem(), []int{2, 2, 4}, []int{0, 2}},
+	{"a100-4", p2.A100System(4), []int{4, 16}, []int{0}},
+	{"a100-4-multi-axis", p2.A100System(4), []int{16, 2, 2}, []int{0, 2}},
+	{"superpod-2x4", p2.SuperPodSystem(2, 4), []int{8, 8}, []int{0}},
+}
+
+func TestPlanParallelMatchesSerial(t *testing.T) {
+	for _, tc := range determinismCases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := p2.Request{Axes: tc.axes, ReduceAxes: tc.red}
+			serial, err := p2.PlanSerial(tc.sys, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := planFingerprint(serial)
+			for _, par := range []int{1, 4, 16} {
+				req.Parallelism = par
+				got, err := p2.Plan(tc.sys, req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if g := planFingerprint(got); g != want {
+					t.Errorf("parallelism %d: ranking differs from serial (%d vs %d strategies)",
+						par, len(got.Strategies), len(serial.Strategies))
+				}
+			}
+		})
+	}
+}
+
+func TestPlanTopKIsPrefix(t *testing.T) {
+	tc := determinismCases[2] // a100-4
+	full, err := p2.PlanSerial(tc.sys, p2.Request{Axes: tc.axes, ReduceAxes: tc.red})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 5, 37, len(full.Strategies) + 10} {
+		got, err := p2.Plan(tc.sys, p2.Request{Axes: tc.axes, ReduceAxes: tc.red,
+			TopK: k, Parallelism: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := len(full.Strategies)
+		if k < want {
+			want = k
+		}
+		if len(got.Strategies) != want {
+			t.Fatalf("TopK=%d kept %d strategies, want %d", k, len(got.Strategies), want)
+		}
+		prefix := &p2.PlanResult{Strategies: full.Strategies[:want]}
+		if planFingerprint(got) != planFingerprint(prefix) {
+			t.Errorf("TopK=%d is not a prefix of the full ranking", k)
+		}
+	}
+}
+
+func TestPlanJointParallelMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		sys  *p2.System
+		axes []int
+	}{
+		{"fig2a", p2.Fig2aSystem(), []int{4, 4}},
+		{"a100-4", p2.A100System(4), []int{4, 16}},
+		{"superpod-2x4", p2.SuperPodSystem(2, 4), []int{8, 8}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			reductions := []p2.Reduction{
+				{ReduceAxes: []int{0}, Bytes: 1 << 30},
+				{ReduceAxes: []int{1}, Bytes: 1 << 26, Count: 48},
+			}
+			serial, err := p2.PlanJointSerial(tc.sys, tc.axes, reductions)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := jointFingerprint(serial)
+			for _, par := range []int{1, 4, 16} {
+				got, err := p2.PlanJointOpts(tc.sys, tc.axes, reductions,
+					p2.JointOptions{Parallelism: par})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if g := jointFingerprint(got); g != want {
+					t.Errorf("parallelism %d: joint ranking differs from serial:\ngot:\n%swant:\n%s",
+						par, g, want)
+				}
+			}
+			// TopK keeps the cheapest prefix.
+			top, err := p2.PlanJointOpts(tc.sys, tc.axes, reductions,
+				p2.JointOptions{Parallelism: 4, TopK: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(top.Choices) != 2 {
+				t.Fatalf("TopK=2 kept %d choices", len(top.Choices))
+			}
+			prefix := &p2.JointPlan{Choices: serial.Choices[:2]}
+			if jointFingerprint(top) != jointFingerprint(prefix) {
+				t.Error("joint TopK=2 is not a prefix of the serial ranking")
+			}
+		})
+	}
+}
+
+// TestPlanMemoizedStats asserts the engine actually reuses synthesis
+// across placements that share a reduction hierarchy.
+func TestPlanMemoizedStats(t *testing.T) {
+	res, err := p2.Plan(p2.SuperPodSystem(2, 4), p2.Request{Axes: []int{8, 8}, ReduceAxes: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SynthRuns+res.Stats.MemoHits != res.Stats.Placements {
+		t.Errorf("stats don't add up: %+v", res.Stats)
+	}
+	if res.Stats.SynthRuns >= res.Stats.Placements {
+		t.Errorf("no memo sharing on SuperPod(2,4): %+v", res.Stats)
+	}
+}

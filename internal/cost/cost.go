@@ -94,17 +94,17 @@ type edge struct {
 	bytes float64
 }
 
-// linkKey identifies an uplink resource: the link from entity `entity` at
-// hierarchy level `level` toward its parent.
-type linkKey struct {
-	level  int
-	entity int
-}
-
-// StepTime predicts the duration of one lowered step.
+// StepTime predicts the duration of one lowered step. Per-uplink traffic
+// is accumulated in dense slices indexed by (level offset + entity id)
+// rather than a map — planning scores thousands of steps and the map
+// dominated its profile; the arithmetic (and therefore every predicted
+// float) is unchanged.
 func (m *Model) StepTime(st lower.Step) float64 {
 	perDevice := st.FracIn() * m.Bytes
-	traffic := map[linkKey]float64{}
+	L := m.Sys.NumLevels()
+	offsets := m.Sys.EntityOffsets()
+	rad := m.Sys.Radix()
+	traffic := make([]float64, offsets[L])
 	maxRounds := 0
 	maxLatency := 0.0
 	for _, g := range st.Groups {
@@ -120,16 +120,29 @@ func (m *Model) StepTime(st lower.Step) float64 {
 			if lat := m.Sys.Uplinks[ldiv].Latency; lat > maxLatency {
 				maxLatency = lat
 			}
-			for l := ldiv; l < m.Sys.NumLevels(); l++ {
-				traffic[linkKey{l, m.Sys.EntityID(e.a, l)}] += e.bytes
-				traffic[linkKey{l, m.Sys.EntityID(e.b, l)}] += e.bytes
+			// Accumulate entity ids incrementally down the levels
+			// (id(l) = id(l-1)·count(l) + digit(l)) instead of re-folding
+			// the address prefix per level.
+			ida := m.Sys.EntityID(e.a, ldiv)
+			idb := m.Sys.EntityID(e.b, ldiv)
+			for l := ldiv; ; {
+				traffic[offsets[l]+ida] += e.bytes
+				traffic[offsets[l]+idb] += e.bytes
+				if l++; l >= L {
+					break
+				}
+				ida = ida*m.Sys.Levels[l].Count + rad.Digit(e.a, l)
+				idb = idb*m.Sys.Levels[l].Count + rad.Digit(e.b, l)
 			}
 		}
 	}
 	worst := 0.0
-	for k, bytes := range traffic {
-		if t := bytes / m.Sys.Uplinks[k.level].Bandwidth; t > worst {
-			worst = t
+	for l := 0; l < L; l++ {
+		bw := m.Sys.Uplinks[l].Bandwidth
+		for _, bytes := range traffic[offsets[l]:offsets[l+1]] {
+			if t := bytes / bw; t > worst {
+				worst = t
+			}
 		}
 	}
 	return worst + float64(maxRounds)*maxLatency

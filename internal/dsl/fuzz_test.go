@@ -1,0 +1,39 @@
+package dsl
+
+import (
+	"testing"
+)
+
+// FuzzParseProgram checks the Parse ∘ String round trip: any string Parse
+// accepts must re-render to a canonical form that Parse maps back to the
+// identical program (Parse ∘ String = identity on Parse's image).
+func FuzzParseProgram(f *testing.F) {
+	f.Add("(0, InsideGroup, AllReduce)")
+	f.Add("(1, InsideGroup, ReduceScatter); (1, Parallel(0), AllReduce); (1, InsideGroup, AllGather)")
+	f.Add("(2, Master(0), Reduce); (2, Master(0), Broadcast)")
+	f.Add("( 3 , Parallel( 1 ) , AllGather )")
+	f.Add("(0, InsideGroup, AllReduce);")
+	f.Add("(-1, Parallel(-2), Broadcast)")
+	f.Fuzz(func(t *testing.T, s string) {
+		prog, err := Parse(s)
+		if err != nil {
+			return // invalid input: nothing to round-trip
+		}
+		canon := prog.String()
+		again, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Parse rejects its own rendering %q of %q: %v", canon, s, err)
+		}
+		if got := again.String(); got != canon {
+			t.Fatalf("round trip not idempotent: %q -> %q -> %q", s, canon, got)
+		}
+		if len(again) != len(prog) {
+			t.Fatalf("round trip changed length: %d -> %d", len(prog), len(again))
+		}
+		for i := range prog {
+			if prog[i] != again[i] {
+				t.Fatalf("instruction %d changed: %+v -> %+v", i, prog[i], again[i])
+			}
+		}
+	})
+}

@@ -117,6 +117,46 @@ func (h *Hierarchy) String() string {
 	return b.String()
 }
 
+// Signature returns a canonical fingerprint of everything program
+// synthesis depends on: the level sizes, which levels are reduction
+// levels, and the leaf-space reduction groups. Candidate enumeration
+// (Instruction.Validate/Admissible/Groups), the Hoare semantics and the
+// target states are all functions of exactly these three, so two
+// hierarchies with equal signatures admit the same synthesized program
+// set and a planner may synthesize once per signature and reuse the
+// result across placements. The physical leaves are deliberately
+// excluded: placements that lower differently still share a signature
+// whenever their reduction structure coincides.
+func (h *Hierarchy) Signature() string {
+	var b strings.Builder
+	b.WriteString("s:")
+	for i, s := range h.Sizes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", s)
+	}
+	b.WriteString("|r:")
+	for _, r := range h.ReductionLevel {
+		if r {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	b.WriteString("|g:")
+	for _, g := range h.Groups {
+		for i, u := range g {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", u)
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
 // Options configure hierarchy construction.
 type Options struct {
 	// Collapse merges reduction-axis factors that belong to the same

@@ -1,0 +1,102 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+
+	"p2/internal/cost"
+	"p2/internal/hierarchy"
+	"p2/internal/lower"
+	"p2/internal/placement"
+	"p2/internal/synth"
+	"p2/internal/topology"
+)
+
+// raceFixture builds a shared system and a few lowered programs for the
+// concurrency tests.
+func raceFixture(t *testing.T) (*topology.System, []*lower.Program) {
+	t.Helper()
+	sys := topology.A100System(2)
+	m, err := placement.NewMatrix([]int{2, 16}, []int{4, 8}, [][]int{{2, 2}, {1, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, []int{0}, hierarchy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := synth.Synthesize(h, synth.Options{MaxSize: 3})
+	if len(res.Programs) < 2 {
+		t.Fatalf("want >= 2 programs, got %d", len(res.Programs))
+	}
+	var progs []*lower.Program
+	for _, p := range res.Programs[:2] {
+		lp, err := lower.Lower(p, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs = append(progs, lp)
+	}
+	return sys, progs
+}
+
+// TestMeasureSharedSystemRace runs many emulations concurrently against
+// one shared *topology.System — both through per-goroutine Simulators and
+// through one Simulator shared across goroutines (Measure must not mutate
+// its receiver). Run with -race; it also checks determinism of the
+// results under contention.
+func TestMeasureSharedSystemRace(t *testing.T) {
+	sys, progs := raceFixture(t)
+	shared := &Simulator{Sys: sys, Algo: cost.Ring, Bytes: cost.PayloadBytes(2)}
+	want := shared.Measure(progs[0])
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			own := &Simulator{Sys: sys, Algo: cost.Ring, Bytes: cost.PayloadBytes(2)}
+			for i := 0; i < 5; i++ {
+				if got := own.Measure(progs[0]); got != want {
+					t.Errorf("goroutine %d own simulator: %v, want %v", g, got, want)
+					return
+				}
+				if got := shared.Measure(progs[0]); got != want {
+					t.Errorf("goroutine %d shared simulator: %v, want %v", g, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestMeasureConcurrentSpecsRace exercises the multi-lane emulator from
+// many goroutines sharing one System.
+func TestMeasureConcurrentSpecsRace(t *testing.T) {
+	sys, progs := raceFixture(t)
+	specs := []ConcurrentSpec{
+		{Program: progs[0], Bytes: 1 << 28},
+		{Program: progs[1], Bytes: 1 << 26},
+	}
+	ref := (&Simulator{Sys: sys, Algo: cost.Ring, Bytes: cost.PayloadBytes(2)}).MeasureConcurrentSpecs(specs)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sim := &Simulator{Sys: sys, Algo: cost.Ring, Bytes: cost.PayloadBytes(2)}
+			for i := 0; i < 3; i++ {
+				got := sim.MeasureConcurrentSpecs(specs)
+				for li := range got {
+					if got[li] != ref[li] {
+						t.Errorf("goroutine %d lane %d: %v, want %v", g, li, got[li], ref[li])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

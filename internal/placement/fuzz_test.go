@@ -1,0 +1,67 @@
+package placement
+
+import (
+	"testing"
+)
+
+// FuzzParseMatrix checks the ParseMatrix ∘ Matrix.String round trip: for
+// any rows ParseRows accepts (against the hierarchy and axes implied by
+// their products), the rendered matrix must parse back to an equal
+// matrix with an identical rendering.
+func FuzzParseMatrix(f *testing.F) {
+	f.Add("[[1 4] [4 4]]")
+	f.Add("[[2 2] [2 8]]")
+	f.Add("[[1,2,8],[4,4,1]]")
+	f.Add("[[1 1 2 2] [1 2 1 2]]")
+	f.Add("[ [16] ]")
+	f.Add("[[0 3]]")
+	f.Fuzz(func(t *testing.T, s string) {
+		rows, err := ParseRows(s)
+		if err != nil {
+			return
+		}
+		// Derive the hierarchy and axes the rows imply; cap the factors so
+		// radix products stay far from overflow.
+		total := 1
+		for _, row := range rows {
+			for _, v := range row {
+				if v <= 0 || v > 1<<10 {
+					return
+				}
+				total *= v
+				if total > 1<<20 {
+					return
+				}
+			}
+		}
+		hier := make([]int, len(rows[0]))
+		for j := range hier {
+			hier[j] = 1
+			for i := range rows {
+				hier[j] *= rows[i][j]
+			}
+		}
+		axes := make([]int, len(rows))
+		for i, row := range rows {
+			axes[i] = 1
+			for _, v := range row {
+				axes[i] *= v
+			}
+		}
+		m, err := NewMatrix(hier, axes, rows)
+		if err != nil {
+			t.Fatalf("NewMatrix rejects rows %v with their own products: %v", rows, err)
+		}
+		canon := m.String()
+		again, err := ParseMatrix(canon, hier, axes)
+		if err != nil {
+			t.Fatalf("ParseMatrix rejects its own rendering %q: %v", canon, err)
+		}
+		if !m.Equal(again) {
+			t.Fatalf("round trip changed the matrix: %v -> %v", m, again)
+		}
+		if got := again.String(); got != canon {
+			t.Fatalf("round trip not idempotent: %q -> %q", canon, got)
+		}
+	})
+}

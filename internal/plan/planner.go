@@ -1,0 +1,387 @@
+// Package plan is the parallel, memoized planning engine behind p2.Plan
+// and p2.PlanJoint. It fans placement matrices out over a bounded worker
+// pool, memoizes program synthesis by the canonical hierarchy signature
+// (placements inducing the same reduction hierarchy share one synthesis
+// run), and optionally keeps only the top-K cheapest candidates per
+// worker in a bounded heap instead of materializing the full
+// (placement × program) cross-product.
+//
+// The engine is deterministic: its output is byte-identical to the serial
+// reference path (enumerate placements in order, synthesize, rank with a
+// stable sort). Candidates are totally ordered by (Predicted, MatrixIdx,
+// ProgIdx), which coincides with what a stable sort by Predicted produces
+// over the serial append order, so parallel execution — with any worker
+// count — and top-K truncation cannot reorder ties.
+package plan
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"p2/internal/cost"
+	"p2/internal/dsl"
+	"p2/internal/hierarchy"
+	"p2/internal/lower"
+	"p2/internal/placement"
+	"p2/internal/synth"
+)
+
+// Options tune one planning run.
+type Options struct {
+	// Parallelism bounds the worker pool. 0 means GOMAXPROCS; 1 runs the
+	// matrices sequentially (still memoized).
+	Parallelism int
+	// TopK, when positive, keeps only the K cheapest candidates. The
+	// result is exactly the first K entries of the full ranking.
+	TopK int
+	// MaxProgramSize limits synthesized program length (0 = synth default).
+	MaxProgramSize int
+	// Collapse is the hierarchy same-level factor collapsing option.
+	Collapse bool
+}
+
+func (o Options) workers(n int) int {
+	w := o.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Candidate is one (placement, program) pair with its predicted runtime
+// and its provenance in the enumeration order (for deterministic
+// tie-breaking).
+type Candidate struct {
+	MatrixIdx int
+	ProgIdx   int
+	Matrix    *placement.Matrix
+	Program   dsl.Program
+	Lowered   *lower.Program
+	Predicted float64
+}
+
+// Less is the total candidate order: predicted time, then placement
+// enumeration order, then program enumeration order. It refines the
+// serial path's stable sort by Predicted, so ranking by Less reproduces
+// the serial ranking exactly.
+func Less(a, b *Candidate) bool {
+	if a.Predicted != b.Predicted {
+		return a.Predicted < b.Predicted
+	}
+	if a.MatrixIdx != b.MatrixIdx {
+		return a.MatrixIdx < b.MatrixIdx
+	}
+	return a.ProgIdx < b.ProgIdx
+}
+
+// Stats reports how much work a run performed and how much the signature
+// memo saved.
+type Stats struct {
+	// Placements is the number of matrices planned.
+	Placements int
+	// SynthRuns counts actual synthesis executions.
+	SynthRuns int
+	// MemoHits counts placements served from the signature memo.
+	MemoHits int
+	// Candidates counts (placement, program) pairs scored — the planning
+	// effort, before any top-K truncation.
+	Candidates int
+}
+
+// Planner runs planning requests, sharing a synthesis memo across the
+// placements and reductions of each run. Reusing one Planner also shares
+// the memo across successive runs (p2.Plan constructs a fresh Planner
+// per call, so its memo spans exactly one request; the memo is unbounded,
+// so long-lived reuse trades memory for synthesis time). A Planner is
+// safe for concurrent use.
+type Planner struct {
+	mu   sync.Mutex
+	memo map[memoKey]*memoEntry
+}
+
+// runCounters tallies one run's memo effectiveness and scoring effort.
+type runCounters struct {
+	synthRuns atomic.Int64
+	memoHits  atomic.Int64
+	scored    atomic.Int64
+}
+
+type memoKey struct {
+	sig     string
+	maxSize int
+}
+
+type memoEntry struct {
+	once sync.Once
+	res  *synth.Result
+}
+
+// New returns an empty Planner.
+func New() *Planner {
+	return &Planner{memo: map[memoKey]*memoEntry{}}
+}
+
+// synthesize returns the program set for h, running synthesis at most
+// once per (hierarchy signature, maxSize) and serving repeats from the
+// memo, reporting whether the result came from the memo. Concurrent
+// callers with the same signature block on the single synthesis instead
+// of duplicating it.
+func (p *Planner) synthesize(h *hierarchy.Hierarchy, maxSize int) (*synth.Result, bool) {
+	key := memoKey{sig: h.Signature(), maxSize: maxSize}
+	p.mu.Lock()
+	ent, hit := p.memo[key]
+	if !hit {
+		ent = &memoEntry{}
+		p.memo[key] = ent
+	}
+	p.mu.Unlock()
+	ent.once.Do(func() {
+		ent.res = synth.Synthesize(h, synth.Options{MaxSize: maxSize})
+	})
+	return ent.res, hit
+}
+
+// stepKey identifies a lowered step up to cost equivalence within one
+// placement: the instruction determines Op and the device groups, Rows
+// the payload fraction. RowsOut and K are not read by StepTime (K is
+// constant per hierarchy anyway).
+type stepKey struct {
+	in   dsl.Instruction
+	rows int
+}
+
+// PlanMatrix synthesizes, lowers and scores every program for one
+// placement. Programs appear in synthesis order (size, then lexicographic
+// — the same order the serial path appends them in).
+//
+// Scoring memoizes step costs by (instruction, rows): programs sharing a
+// prefix — or merely an instruction at the same payload fraction — share
+// the StepTime evaluations, which dominate serial planning at scale. The
+// per-program sum runs over the same values in the same order as
+// cost.Model.ProgramTime, so predictions are bit-identical to the serial
+// path.
+func (p *Planner) PlanMatrix(mi int, m *placement.Matrix, reduceAxes []int, model *cost.Model, opts Options) ([]*Candidate, error) {
+	return p.planMatrix(mi, m, reduceAxes, model, opts, &runCounters{})
+}
+
+func (p *Planner) planMatrix(mi int, m *placement.Matrix, reduceAxes []int, model *cost.Model, opts Options, rc *runCounters) ([]*Candidate, error) {
+	h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, reduceAxes, hierarchy.Options{Collapse: opts.Collapse})
+	if err != nil {
+		return nil, err
+	}
+	res, hit := p.synthesize(h, opts.MaxProgramSize)
+	if hit {
+		rc.memoHits.Add(1)
+	} else {
+		rc.synthRuns.Add(1)
+	}
+	stepCost := map[stepKey]float64{}
+	out := make([]*Candidate, 0, len(res.Programs))
+	for pi, prog := range res.Programs {
+		lp, err := lower.Lower(prog, h)
+		if err != nil {
+			return nil, err
+		}
+		predicted := 0.0
+		for si, st := range lp.Steps {
+			key := stepKey{in: prog[si], rows: st.Rows}
+			c, ok := stepCost[key]
+			if !ok {
+				c = model.StepTime(st)
+				stepCost[key] = c
+			}
+			predicted += c
+		}
+		out = append(out, &Candidate{
+			MatrixIdx: mi,
+			ProgIdx:   pi,
+			Matrix:    m,
+			Program:   prog,
+			Lowered:   lp,
+			Predicted: predicted,
+		})
+	}
+	rc.scored.Add(int64(len(out)))
+	return out, nil
+}
+
+// Run ranks every (matrix, program) candidate for one reduction request,
+// fanning the matrices out over the worker pool. The returned slice is
+// sorted by Less and truncated to TopK when set.
+func (p *Planner) Run(matrices []*placement.Matrix, reduceAxes []int, model *cost.Model, opts Options) ([]*Candidate, Stats, error) {
+	var rc runCounters
+	perWorker, err := fanOut(opts, len(matrices), func(mi int) ([]*Candidate, error) {
+		return p.planMatrix(mi, matrices[mi], reduceAxes, model, opts, &rc)
+	}, Less)
+	stats := Stats{
+		Placements: len(matrices),
+		SynthRuns:  int(rc.synthRuns.Load()),
+		MemoHits:   int(rc.memoHits.Load()),
+		Candidates: int(rc.scored.Load()),
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	return mergeRanked(perWorker, opts.TopK, Less), stats, nil
+}
+
+// JointSpec describes one recurring reduction of a joint request.
+type JointSpec struct {
+	// ReduceAxes are the axis indices reduced over.
+	ReduceAxes []int
+	// Model is the per-reduction cost model (its Algo and Bytes may
+	// differ between reductions of one joint request).
+	Model *cost.Model
+	// Weight scales the reduction's predicted time in the joint total
+	// (the per-step occurrence count; <= 0 means 1).
+	Weight float64
+	// Collapse and MaxProgramSize mirror Options per reduction.
+	Collapse       bool
+	MaxProgramSize int
+}
+
+// JointCandidate is the joint outcome for one placement: the best
+// program per reduction and the weighted total.
+type JointCandidate struct {
+	MatrixIdx    int
+	Matrix       *placement.Matrix
+	PerReduction []*Candidate
+	Costs        []float64
+	Total        float64
+}
+
+// jointLess orders joint candidates by total, breaking ties by placement
+// enumeration order (matching the serial stable sort).
+func jointLess(a, b *JointCandidate) bool {
+	if a.Total != b.Total {
+		return a.Total < b.Total
+	}
+	return a.MatrixIdx < b.MatrixIdx
+}
+
+// ErrNoPrograms reports that a reduction admits no valid program under a
+// placement, mirroring the serial path's failure.
+type ErrNoPrograms struct {
+	ReduceAxes []int
+	Matrix     *placement.Matrix
+}
+
+func (e *ErrNoPrograms) Error() string {
+	return fmt.Sprintf("plan: no valid programs for reduction axes %v on matrix %v", e.ReduceAxes, e.Matrix)
+}
+
+// RunJoint scores every placement against all reductions jointly,
+// fanning placements out over the worker pool. Synthesis is memoized
+// across both placements and reductions. The result is sorted by
+// (Total, MatrixIdx) and truncated to TopK placements when set.
+func (p *Planner) RunJoint(matrices []*placement.Matrix, reds []JointSpec, opts Options) ([]*JointCandidate, Stats, error) {
+	var rc runCounters
+	perWorker, err := fanOut(opts, len(matrices), func(mi int) ([]*JointCandidate, error) {
+		m := matrices[mi]
+		jc := &JointCandidate{MatrixIdx: mi, Matrix: m}
+		for _, red := range reds {
+			ropts := opts
+			ropts.Collapse = red.Collapse
+			if red.MaxProgramSize > 0 {
+				ropts.MaxProgramSize = red.MaxProgramSize
+			}
+			cands, err := p.planMatrix(mi, m, red.ReduceAxes, red.Model, ropts, &rc)
+			if err != nil {
+				return nil, err
+			}
+			if len(cands) == 0 {
+				return nil, &ErrNoPrograms{ReduceAxes: red.ReduceAxes, Matrix: m}
+			}
+			best := cands[0]
+			for _, c := range cands[1:] {
+				if Less(c, best) {
+					best = c
+				}
+			}
+			w := red.Weight
+			if w <= 0 {
+				w = 1
+			}
+			jc.PerReduction = append(jc.PerReduction, best)
+			jc.Costs = append(jc.Costs, w*best.Predicted)
+			jc.Total += w * best.Predicted
+		}
+		return []*JointCandidate{jc}, nil
+	}, jointLess)
+	stats := Stats{
+		Placements: len(matrices),
+		SynthRuns:  int(rc.synthRuns.Load()),
+		MemoHits:   int(rc.memoHits.Load()),
+		Candidates: int(rc.scored.Load()),
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	return mergeRanked(perWorker, opts.TopK, jointLess), stats, nil
+}
+
+// fanOut runs produce(0..n-1) over the option-bounded worker pool, each
+// worker folding its results into a top-K bounded heap. It returns each
+// worker's kept items (unsorted) and, deterministically, the error of
+// the lowest-indexed failing item: every item is produced even after a
+// failure (errors are configuration mistakes, not a hot path, so the
+// wasted work does not matter and the serial path's error is reproduced
+// at every worker count).
+func fanOut[T any](opts Options, n int, produce func(i int) ([]T, error), less func(a, b T) bool) ([][]T, error) {
+	workers := opts.workers(n)
+	perWorker := make([][]T, workers)
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			keep := newTopK(opts.TopK, less)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					break
+				}
+				items, err := produce(i)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				for _, it := range items {
+					keep.push(it)
+				}
+			}
+			perWorker[w] = keep.items()
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return perWorker, nil
+}
+
+// mergeRanked merges the per-worker keeps into the final ranking.
+func mergeRanked[T any](perWorker [][]T, topK int, less func(a, b T) bool) []T {
+	var all []T
+	for _, cs := range perWorker {
+		all = append(all, cs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return less(all[i], all[j]) })
+	if topK > 0 && len(all) > topK {
+		all = all[:topK]
+	}
+	return all
+}

@@ -1,0 +1,67 @@
+package plan
+
+// topK keeps the k smallest items under less. With k <= 0 it keeps
+// everything. Internally it is a max-heap of the kept items (worst kept
+// at the root), so each push against a full heap is O(log k) and the
+// full cross-product is never materialized.
+type topK[T any] struct {
+	k    int
+	less func(a, b T) bool
+	heap []T
+}
+
+func newTopK[T any](k int, less func(a, b T) bool) *topK[T] {
+	return &topK[T]{k: k, less: less}
+}
+
+func (t *topK[T]) push(x T) {
+	if t.k <= 0 {
+		t.heap = append(t.heap, x)
+		return
+	}
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, x)
+		t.up(len(t.heap) - 1)
+		return
+	}
+	// Full: replace the worst kept item if x beats it.
+	if t.less(x, t.heap[0]) {
+		t.heap[0] = x
+		t.down(0)
+	}
+}
+
+// items returns the kept items in unspecified order.
+func (t *topK[T]) items() []T { return t.heap }
+
+// worse is the max-heap order: a sinks below b when a ranks after b.
+func (t *topK[T]) worse(a, b T) bool { return t.less(b, a) }
+
+func (t *topK[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !t.worse(t.heap[i], t.heap[parent]) {
+			return
+		}
+		t.heap[i], t.heap[parent] = t.heap[parent], t.heap[i]
+		i = parent
+	}
+}
+
+func (t *topK[T]) down(i int) {
+	n := len(t.heap)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && t.worse(t.heap[l], t.heap[worst]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && t.worse(t.heap[r], t.heap[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		t.heap[i], t.heap[worst] = t.heap[worst], t.heap[i]
+		i = worst
+	}
+}

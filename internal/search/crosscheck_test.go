@@ -1,0 +1,91 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"p2/internal/cost"
+	"p2/internal/hierarchy"
+	"p2/internal/lower"
+	"p2/internal/placement"
+	"p2/internal/synth"
+	"p2/internal/topology"
+)
+
+// TestBestMatchesEnumeration cross-checks the cost-guided Dijkstra search
+// against ground truth: for a grid of (system, axes, reduceAxes) and
+// every placement, the search optimum must equal the minimum predicted
+// cost over the full synth.Synthesize enumeration.
+func TestBestMatchesEnumeration(t *testing.T) {
+	grid := []struct {
+		name string
+		sys  *topology.System
+		axes []int
+		red  []int
+		algo cost.Algorithm
+	}{
+		{"fig2a-ring", topology.Fig2aSystem(), []int{4, 4}, []int{0}, cost.Ring},
+		{"fig2a-axis1", topology.Fig2aSystem(), []int{4, 4}, []int{1}, cost.Ring},
+		{"fig2a-tree", topology.Fig2aSystem(), []int{4, 4}, []int{0}, cost.Tree},
+		{"fig2a-multi", topology.Fig2aSystem(), []int{2, 2, 4}, []int{0, 2}, cost.Ring},
+		{"a100-2-ring", topology.A100System(2), []int{8, 4}, []int{0}, cost.Ring},
+		{"a100-2-multi", topology.A100System(2), []int{2, 2, 8}, []int{0, 2}, cost.Ring},
+		{"v100-2-tree", topology.V100System(2), []int{4, 4}, []int{1}, cost.Tree},
+	}
+	const maxSize = 4
+	for _, tc := range grid {
+		t.Run(tc.name, func(t *testing.T) {
+			matrices, err := placement.Enumerate(tc.sys.Hierarchy(), tc.axes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := &cost.Model{Sys: tc.sys, Algo: tc.algo,
+				Bytes: cost.PayloadBytes(tc.sys.Levels[0].Count)}
+			for _, m := range matrices {
+				h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, tc.red,
+					hierarchy.Options{Collapse: len(tc.red) > 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				prog, total, _, ok := Best(h, model, maxSize)
+				res := synth.Synthesize(h, synth.Options{MaxSize: maxSize})
+				if !ok {
+					if len(res.Programs) != 0 {
+						t.Errorf("matrix %v: search found nothing but enumeration found %d programs",
+							m, len(res.Programs))
+					}
+					continue
+				}
+				// Ground truth: cheapest enumerated program.
+				best := math.Inf(1)
+				for _, p := range res.Programs {
+					lp, err := lower.Lower(p, h)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if c := model.ProgramTime(lp); c < best {
+						best = c
+					}
+				}
+				if math.IsInf(best, 1) {
+					t.Errorf("matrix %v: search found %v but enumeration found no programs", m, prog)
+					continue
+				}
+				if rel := math.Abs(total-best) / best; rel > 1e-12 {
+					t.Errorf("matrix %v: search optimum %.15g != enumeration minimum %.15g (rel %g, program %v)",
+						m, total, best, rel, prog)
+				}
+				// The search's claimed total must match re-scoring its own
+				// program through the standard lowering pipeline.
+				lp, err := lower.Lower(prog, h)
+				if err != nil {
+					t.Fatalf("matrix %v: search program %v fails to lower: %v", m, prog, err)
+				}
+				if re := model.ProgramTime(lp); math.Abs(re-total)/total > 1e-12 {
+					t.Errorf("matrix %v: search total %.15g != re-scored %.15g for %v",
+						m, total, re, prog)
+				}
+			}
+		})
+	}
+}

@@ -71,6 +71,9 @@ type System struct {
 	CrossDomain *CrossDomainModel
 
 	radix *factor.Radix
+	// entOffsets[l] is the cumulative entity count of levels above l; see
+	// EntityOffsets.
+	entOffsets []int
 }
 
 // New constructs and validates a System.
@@ -129,8 +132,21 @@ func (s *System) init() error {
 		}
 	}
 	s.radix = factor.NewRadix(sizes)
+	s.entOffsets = make([]int, len(s.Levels)+1)
+	prod := 1
+	for l, lv := range s.Levels {
+		prod *= lv.Count
+		s.entOffsets[l+1] = s.entOffsets[l] + prod
+	}
 	return nil
 }
+
+// EntityOffsets returns cumulative entity counts per level:
+// EntityOffsets()[l] is the number of entities strictly above level l, so
+// a dense per-entity array over all levels has EntityOffsets()[NumLevels()]
+// slots and entity e of level l lives at EntityOffsets()[l]+e. The slice
+// is shared and must not be mutated.
+func (s *System) EntityOffsets() []int { return s.entOffsets }
 
 // WithCrossDomain returns a copy of s carrying the given cross-domain model.
 func (s *System) WithCrossDomain(cd CrossDomainModel) *System {

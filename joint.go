@@ -1,10 +1,13 @@
 package p2
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
+	"p2/internal/cost"
 	"p2/internal/netsim"
+	"p2/internal/plan"
 )
 
 // Reduction describes one recurring reduction of a training step for joint
@@ -61,20 +64,97 @@ func (c *JointChoice) MeasureConcurrent() []float64 {
 // JointPlan ranks every placement by the combined cost of all requested
 // reductions.
 type JointPlan struct {
-	// Choices are all placements, cheapest total first.
+	// Choices are all placements, cheapest total first. With
+	// JointOptions.TopK set, only the K cheapest are present.
 	Choices []*JointChoice
 	System  *System
 	Axes    []int
+	// Stats reports the planning effort (placements, synthesis runs,
+	// signature-memo hits).
+	Stats plan.Stats
 }
 
 // Best returns the placement minimizing total per-step communication.
 func (jp *JointPlan) Best() *JointChoice { return jp.Choices[0] }
 
+// JointOptions tune joint planning.
+type JointOptions struct {
+	// Parallelism bounds the planner's worker pool (0 = GOMAXPROCS,
+	// 1 = sequential). Any value yields the same placement ranking.
+	Parallelism int
+	// TopK, when positive, keeps only the K cheapest placements.
+	TopK int
+}
+
 // PlanJoint evaluates every placement of the axes against all reductions
 // jointly — the §4.1 observation that "models with multiple parallelism
 // forms involve reductions across both axes, and the selection of a mapping
-// should take all of them into account" turned into an API.
+// should take all of them into account" turned into an API. It runs on the
+// parallel memoized engine with default options; use PlanJointOpts to tune
+// the worker pool and placement top-K.
 func PlanJoint(sys *System, axes []int, reductions []Reduction) (*JointPlan, error) {
+	return PlanJointOpts(sys, axes, reductions, JointOptions{})
+}
+
+// PlanJointOpts is PlanJoint with explicit engine options. Placements fan
+// out over the worker pool and synthesis is memoized by hierarchy
+// signature across both placements and reductions, so e.g. the data- and
+// tensor-parallel reductions of a transformer share synthesis whenever
+// their axis rows induce the same reduction hierarchy. The placement
+// ranking (including tie order) is identical to PlanJointSerial.
+func PlanJointOpts(sys *System, axes []int, reductions []Reduction, opts JointOptions) (*JointPlan, error) {
+	if len(reductions) == 0 {
+		return nil, fmt.Errorf("p2: PlanJoint needs at least one reduction")
+	}
+	matrices, err := Placements(sys, axes)
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]plan.JointSpec, len(reductions))
+	for i, red := range reductions {
+		bytes := red.Bytes
+		if bytes <= 0 {
+			bytes = cost.PayloadBytes(sys.Levels[0].Count)
+		}
+		specs[i] = plan.JointSpec{
+			ReduceAxes: red.ReduceAxes,
+			Model:      &cost.Model{Sys: sys, Algo: red.Algo, Bytes: bytes},
+			Weight:     red.Count,
+			Collapse:   len(red.ReduceAxes) > 1,
+		}
+	}
+	jcs, stats, err := plan.New().RunJoint(matrices, specs, plan.Options{
+		Parallelism: opts.Parallelism,
+		TopK:        opts.TopK,
+	})
+	if err != nil {
+		var noProg *plan.ErrNoPrograms
+		if errors.As(err, &noProg) {
+			return nil, fmt.Errorf("p2: no valid strategies for axes %v reduce %v", axes, noProg.ReduceAxes)
+		}
+		return nil, err
+	}
+	jp := &JointPlan{System: sys, Axes: axes, Stats: stats}
+	for _, jc := range jcs {
+		choice := &JointChoice{
+			Matrix: jc.Matrix,
+			Costs:  jc.Costs,
+			Total:  jc.Total,
+		}
+		for ri, c := range jc.PerReduction {
+			choice.PerReduction = append(choice.PerReduction,
+				strategyFromCandidate(c, sys, reductions[ri].Algo, specs[ri].Model.Bytes))
+		}
+		jp.Choices = append(jp.Choices, choice)
+	}
+	return jp, nil
+}
+
+// PlanJointSerial is the reference implementation of PlanJoint: one
+// placement at a time, one full serial Plan per (placement, reduction).
+// The parallel engine must reproduce its placement ranking byte for byte
+// (see the equivalence tests).
+func PlanJointSerial(sys *System, axes []int, reductions []Reduction) (*JointPlan, error) {
 	if len(reductions) == 0 {
 		return nil, fmt.Errorf("p2: PlanJoint needs at least one reduction")
 	}
@@ -86,7 +166,7 @@ func PlanJoint(sys *System, axes []int, reductions []Reduction) (*JointPlan, err
 	for _, m := range matrices {
 		choice := &JointChoice{Matrix: m}
 		for _, red := range reductions {
-			plan, err := Plan(sys, Request{
+			plan, err := PlanSerial(sys, Request{
 				Axes:       axes,
 				ReduceAxes: red.ReduceAxes,
 				Algo:       red.Algo,

@@ -38,6 +38,7 @@ import (
 	"p2/internal/lower"
 	"p2/internal/netsim"
 	"p2/internal/placement"
+	"p2/internal/plan"
 	"p2/internal/synth"
 	"p2/internal/topology"
 )
@@ -114,6 +115,14 @@ type Request struct {
 	// Matrix restricts synthesis to a single placement instead of
 	// enumerating all of them.
 	Matrix *Matrix
+	// Parallelism bounds the planner's worker pool (how many placements
+	// are evaluated concurrently). 0 uses GOMAXPROCS; 1 processes the
+	// placements sequentially. Any value yields the same ranking.
+	Parallelism int
+	// TopK, when positive, keeps only the K fastest-predicted strategies
+	// — exactly the first K entries of the full ranking — using bounded
+	// per-worker heaps instead of materializing the whole cross-product.
+	TopK int
 }
 
 // Strategy is one candidate (placement, program) pair with its predicted
@@ -170,11 +179,15 @@ func (s *Strategy) String() string {
 
 // Plan is the ranked synthesis result.
 type PlanResult struct {
-	// Strategies are all candidates, fastest predicted first.
+	// Strategies are all candidates, fastest predicted first. With
+	// Request.TopK set, only the K fastest are present.
 	Strategies []*Strategy
 	// Request echoes the planned request (with defaults applied).
 	Request Request
 	System  *System
+	// Stats reports the planning effort (placements, synthesis runs,
+	// signature-memo hits, candidates scored).
+	Stats plan.Stats
 }
 
 // Best returns the fastest-predicted strategy.
@@ -192,22 +205,79 @@ func (p *PlanResult) BaselineFor(m *Matrix) *Strategy {
 	return nil
 }
 
+// planMatrices resolves the placement set of a request.
+func planMatrices(sys *System, req Request) ([]*Matrix, error) {
+	if req.Matrix != nil {
+		return []*Matrix{req.Matrix}, nil
+	}
+	return Placements(sys, req.Axes)
+}
+
 // Plan enumerates placements (or uses req.Matrix), synthesizes every valid
 // reduction program for each, predicts every candidate's runtime and
 // returns them ranked.
+//
+// Planning runs on the parallel memoized engine (internal/plan):
+// placements fan out over req.Parallelism workers, placements inducing
+// the same reduction hierarchy share one synthesis run, and req.TopK
+// bounds the result without materializing the full cross-product. The
+// ranking — including tie order — is identical to PlanSerial for every
+// parallelism level.
 func Plan(sys *System, req Request) (*PlanResult, error) {
 	if req.Bytes <= 0 {
 		req.Bytes = cost.PayloadBytes(sys.Levels[0].Count)
 	}
-	var matrices []*Matrix
-	if req.Matrix != nil {
-		matrices = []*Matrix{req.Matrix}
-	} else {
-		var err error
-		matrices, err = Placements(sys, req.Axes)
-		if err != nil {
-			return nil, err
-		}
+	matrices, err := planMatrices(sys, req)
+	if err != nil {
+		return nil, err
+	}
+	model := &cost.Model{Sys: sys, Algo: req.Algo, Bytes: req.Bytes}
+	cands, stats, err := plan.New().Run(matrices, req.ReduceAxes, model, plan.Options{
+		Parallelism:    req.Parallelism,
+		TopK:           req.TopK,
+		MaxProgramSize: req.MaxProgramSize,
+		Collapse:       len(req.ReduceAxes) > 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("p2: no valid strategies for axes %v reduce %v", req.Axes, req.ReduceAxes)
+	}
+	res := &PlanResult{Request: req, System: sys, Stats: stats}
+	res.Strategies = make([]*Strategy, len(cands))
+	for i, c := range cands {
+		res.Strategies[i] = strategyFromCandidate(c, sys, req.Algo, req.Bytes)
+	}
+	return res, nil
+}
+
+// strategyFromCandidate adopts a planner candidate as a public Strategy.
+func strategyFromCandidate(c *plan.Candidate, sys *System, algo Algorithm, bytes float64) *Strategy {
+	return &Strategy{
+		Matrix:    c.Matrix,
+		Program:   c.Program,
+		Predicted: c.Predicted,
+		lowered:   c.Lowered,
+		sys:       sys,
+		algo:      algo,
+		bytes:     bytes,
+	}
+}
+
+// PlanSerial is the reference implementation of Plan: one placement at a
+// time, a fresh synthesis per placement, full materialization, stable
+// sort. It ignores req.Parallelism and req.TopK. The parallel engine is
+// required to reproduce its ranking byte for byte (see the equivalence
+// tests); it exists for exactly that cross-check and for ablation
+// benchmarks of the engine.
+func PlanSerial(sys *System, req Request) (*PlanResult, error) {
+	if req.Bytes <= 0 {
+		req.Bytes = cost.PayloadBytes(sys.Levels[0].Count)
+	}
+	matrices, err := planMatrices(sys, req)
+	if err != nil {
+		return nil, err
 	}
 	model := &cost.Model{Sys: sys, Algo: req.Algo, Bytes: req.Bytes}
 	res := &PlanResult{Request: req, System: sys}
@@ -240,6 +310,8 @@ func Plan(sys *System, req Request) (*PlanResult, error) {
 	sort.SliceStable(res.Strategies, func(i, j int) bool {
 		return res.Strategies[i].Predicted < res.Strategies[j].Predicted
 	})
+	res.Stats = plan.Stats{Placements: len(matrices), SynthRuns: len(matrices),
+		Candidates: len(res.Strategies)}
 	return res, nil
 }
 
