@@ -12,7 +12,6 @@ import (
 	"p2/internal/eval"
 	"p2/internal/hierarchy"
 	"p2/internal/lower"
-	"p2/internal/netsim"
 	"p2/internal/placement"
 	"p2/internal/synth"
 	"p2/internal/topology"
@@ -43,7 +42,7 @@ func newCommon(name string, out io.Writer) *commonFlags {
 		nodes:       fs.Int("nodes", 4, "number of nodes (a100/v100 presets)"),
 		axes:        fs.String("axes", "", `parallelism axes, e.g. "[4 16]"`),
 		reduce:      fs.String("reduce", "[0]", `reduction axes, e.g. "[0]" or "[0 2]"`),
-		algo:        fs.String("algo", "Ring", "NCCL algorithm: Ring or Tree"),
+		algo:        fs.String("algo", "Ring", "NCCL algorithm: Ring, Tree, HalvingDoubling, or auto to search the per-step assignment"),
 		matrix:      fs.String("matrix", "", `restrict to one matrix, e.g. "[[2 2] [2 8]]"`),
 		parallelism: fs.Int("parallelism", 0, "planner worker pool size (0 = GOMAXPROCS, 1 = sequential)"),
 		topk:        fs.Int("topk", 0, "keep only the K fastest-predicted strategies (0 = all)"),
@@ -54,17 +53,23 @@ func (c *commonFlags) system() (*topology.System, error) {
 	return buildSystem(*c.sysName, *c.nodes)
 }
 
-func (c *commonFlags) parsed() (axes, red []int, algo cost.Algorithm, err error) {
+// parsed resolves the shared flags. With -algo auto, algo is Ring (the
+// base) and algos carries the searched set (cost.ExtendedAlgorithms);
+// otherwise algos is nil and algo is the pinned algorithm.
+func (c *commonFlags) parsed() (axes, red []int, algo cost.Algorithm, algos []cost.Algorithm, err error) {
 	axes, err = placement.ParseVector(*c.axes)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, 0, nil, err
 	}
 	red, err = placement.ParseVector(*c.reduce)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, 0, nil, err
+	}
+	if *c.algo == "auto" {
+		return axes, red, cost.Ring, cost.ExtendedAlgorithms, nil
 	}
 	algo, err = cost.ParseAlgorithm(*c.algo)
-	return axes, red, algo, err
+	return axes, red, algo, nil, err
 }
 
 func buildSystem(name string, nodes int) (*topology.System, error) {
@@ -82,8 +87,8 @@ func buildSystem(name string, nodes int) (*topology.System, error) {
 
 // planFor wraps p2.Plan with optional matrix restriction and engine
 // options from the CLI flags.
-func (c *commonFlags) planFor(sys *topology.System, axes, red []int, algo cost.Algorithm) (*p2.PlanResult, error) {
-	req := p2.Request{Axes: axes, ReduceAxes: red, Algo: algo,
+func (c *commonFlags) planFor(sys *topology.System, axes, red []int, algo cost.Algorithm, algos []cost.Algorithm) (*p2.PlanResult, error) {
+	req := p2.Request{Axes: axes, ReduceAxes: red, Algo: algo, Algos: algos,
 		Parallelism: *c.parallelism, TopK: *c.topk}
 	if *c.matrix != "" {
 		m, err := p2.ParseMatrix(sys, axes, *c.matrix)
@@ -130,11 +135,11 @@ func cmdSynth(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	axes, red, algo, err := c.parsed()
+	axes, red, algo, algos, err := c.parsed()
 	if err != nil {
 		return err
 	}
-	plan, err := c.planFor(sys, axes, red, algo)
+	plan, err := c.planFor(sys, axes, red, algo, algos)
 	if err != nil {
 		return err
 	}
@@ -145,7 +150,7 @@ func cmdSynth(args []string, out io.Writer) error {
 	}
 	for i := 0; i < n; i++ {
 		s := plan.Strategies[i]
-		fmt.Fprintf(out, "  %2d: %9.3fs  %-18v %v\n", i+1, s.Predicted, s.Matrix, s.Program)
+		fmt.Fprintf(out, "  %2d: %9.3fs  %-18v %-16s %v\n", i+1, s.Predicted, s.Matrix, s.AlgoString(), s.Program)
 	}
 	return nil
 }
@@ -160,11 +165,22 @@ func cmdEval(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	axes, red, algo, err := c.parsed()
+	axes, red, algo, algos, err := c.parsed()
 	if err != nil {
 		return err
 	}
-	r, err := eval.Run(eval.Config{Sys: sys, Axes: axes, ReduceAxes: red, Algo: algo})
+	cfg := eval.Config{Sys: sys, Axes: axes, ReduceAxes: red, Algo: algo, Algos: algos}
+	if len(algos) > 1 {
+		// Auto mode: contrast the searched per-step assignment against
+		// the paper's pinned Ring and Tree sweeps.
+		ring, tree, auto, err := eval.RunAutoComparison(cfg)
+		if err != nil {
+			return err
+		}
+		emit(out, eval.BuildAutoComparison(ring, tree, auto), *tsv)
+		return nil
+	}
+	r, err := eval.Run(cfg)
 	if err != nil {
 		return err
 	}
@@ -181,11 +197,11 @@ func cmdExport(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	axes, red, algo, err := c.parsed()
+	axes, red, algo, algos, err := c.parsed()
 	if err != nil {
 		return err
 	}
-	r, err := eval.Run(eval.Config{Sys: sys, Axes: axes, ReduceAxes: red, Algo: algo})
+	r, err := eval.Run(eval.Config{Sys: sys, Axes: axes, ReduceAxes: red, Algo: algo, Algos: algos})
 	if err != nil {
 		return err
 	}
@@ -208,7 +224,7 @@ func cmdHLO(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	axes, red, algo, err := c.parsed()
+	axes, red, algo, algos, err := c.parsed()
 	if err != nil {
 		return err
 	}
@@ -234,7 +250,7 @@ func cmdHLO(args []string, out io.Writer) error {
 			return err
 		}
 	} else {
-		plan, err := c.planFor(sys, axes, red, algo)
+		plan, err := c.planFor(sys, axes, red, algo, algos)
 		if err != nil {
 			return err
 		}
@@ -258,7 +274,7 @@ func cmdVerify(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	axes, red, _, err := c.parsed()
+	axes, red, _, _, err := c.parsed()
 	if err != nil {
 		return err
 	}
@@ -317,11 +333,11 @@ func cmdTrace(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	axes, red, algo, err := c.parsed()
+	axes, red, algo, algos, err := c.parsed()
 	if err != nil {
 		return err
 	}
-	plan, err := c.planFor(sys, axes, red, algo)
+	plan, err := c.planFor(sys, axes, red, algo, algos)
 	if err != nil {
 		return err
 	}
@@ -342,12 +358,13 @@ func cmdTrace(args []string, out io.Writer) error {
 			return fmt.Errorf("program %q was not synthesized for this request", *progStr)
 		}
 	}
+	// Trace through the strategy so the request's (defaulted) payload and
+	// any per-step algorithm assignment are honored.
 	col := &trace.Collector{}
-	sim := &netsim.Simulator{Sys: sys, Algo: algo,
-		Bytes: cost.PayloadBytes(sys.Levels[0].Count), Recorder: col.Record}
-	total := sim.Measure(strat.Lowered())
+	total, events := strat.Trace()
+	col.Events = events
 	if *summary {
-		fmt.Fprintf(out, "strategy: %v via %v\n", strat.Matrix, strat.Program)
+		fmt.Fprintf(out, "strategy: %v via %v [%s]\n", strat.Matrix, strat.Program, strat.AlgoString())
 		fmt.Fprintf(out, "emulated total: %.4f s, %d transfers\n", total, len(col.Events))
 		for _, s := range col.Summarize() {
 			fmt.Fprintf(out, "  step %d %-14s %5d transfers %10.1f MB  [%.4f, %.4f] s\n",

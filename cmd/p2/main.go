@@ -6,8 +6,9 @@
 // Usage:
 //
 //	p2 placements -system a100 -nodes 4 -axes "[4 16]"
-//	p2 synth      -system a100 -nodes 4 -axes "[4 16]" -reduce "[0]" [-matrix "[[2 2] [2 8]]"]
+//	p2 synth      -system a100 -nodes 4 -axes "[4 16]" -reduce "[0]" [-matrix "[[2 2] [2 8]]"] [-algo auto]
 //	p2 eval       -system a100 -nodes 4 -axes "[4 16]" -reduce "[0]" -algo Ring
+//	p2 eval       -system a100 -nodes 4 -axes "[4 16]" -reduce "[0]" -algo auto   # search NCCL_ALGO per step
 //	p2 export     -system a100 -nodes 4 -axes "[4 16]" -reduce "[0]" -algo Ring   # JSON
 //	p2 hlo        -system a100 -nodes 4 -axes "[4 16]" -reduce "[0]" -matrix "[[2 2] [2 8]]" -program "..."
 //	p2 verify     -system a100 -nodes 4 -axes "[4 16]" -reduce "[0]" -matrix "[[2 2] [2 8]]"
@@ -76,6 +77,8 @@ commands:
   placements  enumerate parallelism matrices for an axis configuration
   synth       synthesize reduction programs and rank them by predicted time
   eval        full sweep: synthesize, predict, measure, report per matrix
+              (-algo auto searches the per-step NCCL algorithm and reports
+              where it beats pinned Ring/Tree)
   export      full sweep emitted as JSON
   hlo         emit a synthesized program as XLA-HLO-style module text
   verify      execute synthesized programs on concrete data and check sums

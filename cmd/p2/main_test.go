@@ -122,6 +122,44 @@ func TestEvalCommand(t *testing.T) {
 	}
 }
 
+func TestEvalAutoCommand(t *testing.T) {
+	// -algo auto emits the fixed-vs-auto comparison; on the paper's A100
+	// 4-node [4 16] sweep the search strictly beats pinned Ring on at
+	// least one matrix (emulator and search are deterministic).
+	out, errOut, code := exec("eval", "-system", "a100", "-nodes", "4",
+		"-axes", "[4 16]", "-reduce", "[0]", "-algo", "auto", "-tsv")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "Auto assignment") || !strings.Contains(out, "Winner") {
+		t.Fatalf("comparison table missing:\n%s", out)
+	}
+	autoWins := false
+	for _, line := range strings.Split(out, "\n") {
+		cols := strings.Split(line, "\t")
+		if len(cols) == 7 && cols[6] == "auto" {
+			autoWins = true // auto strictly beat both pinned algorithms
+		}
+	}
+	if !autoWins {
+		t.Errorf("no config where auto strictly beats fixed Ring:\n%s", out)
+	}
+}
+
+func TestSynthAutoShowsAssignments(t *testing.T) {
+	out, errOut, code := exec("synth", "-system", "v100", "-nodes", "4",
+		"-axes", "[32]", "-reduce", "[0]", "-algo", "auto", "-top", "0")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "HalvingDoubling") {
+		t.Errorf("auto synth never chose HalvingDoubling:\n%s", out)
+	}
+	if !strings.Contains(out, "/") || !strings.Contains(out, "Ring") {
+		t.Errorf("expected mixed per-step assignments in:\n%s", out)
+	}
+}
+
 func TestExportCommand(t *testing.T) {
 	out, errOut, code := exec("export", "-system", "v100", "-nodes", "2",
 		"-axes", "[4 4]", "-reduce", "[1]")

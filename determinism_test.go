@@ -13,12 +13,14 @@ import (
 	"p2"
 )
 
-// planFingerprint renders a ranking byte-exactly: placement, program and
-// the raw float64 bits of the prediction, one strategy per line.
+// planFingerprint renders a ranking byte-exactly: placement, program,
+// per-step algorithm assignment and the raw float64 bits of the
+// prediction, one strategy per line.
 func planFingerprint(res *p2.PlanResult) string {
 	var b strings.Builder
 	for _, s := range res.Strategies {
-		fmt.Fprintf(&b, "%v|%v|%016x\n", s.Matrix, s.Program, math.Float64bits(s.Predicted))
+		fmt.Fprintf(&b, "%v|%v|%s|%016x\n", s.Matrix, s.Program, s.AlgoString(),
+			math.Float64bits(s.Predicted))
 	}
 	return b.String()
 }
@@ -28,7 +30,7 @@ func jointFingerprint(jp *p2.JointPlan) string {
 	for _, c := range jp.Choices {
 		fmt.Fprintf(&b, "%v|%016x", c.Matrix, math.Float64bits(c.Total))
 		for i, s := range c.PerReduction {
-			fmt.Fprintf(&b, "|%v@%016x*%016x", s.Program,
+			fmt.Fprintf(&b, "|%v[%s]@%016x*%016x", s.Program, s.AlgoString(),
 				math.Float64bits(s.Predicted), math.Float64bits(c.Costs[i]))
 		}
 		b.WriteByte('\n')
@@ -37,22 +39,28 @@ func jointFingerprint(jp *p2.JointPlan) string {
 }
 
 var determinismCases = []struct {
-	name string
-	sys  *p2.System
-	axes []int
-	red  []int
+	name  string
+	sys   *p2.System
+	axes  []int
+	red   []int
+	algos []p2.Algorithm
 }{
-	{"fig2a", p2.Fig2aSystem(), []int{4, 4}, []int{0}},
-	{"fig2a-multi-axis", p2.Fig2aSystem(), []int{2, 2, 4}, []int{0, 2}},
-	{"a100-4", p2.A100System(4), []int{4, 16}, []int{0}},
-	{"a100-4-multi-axis", p2.A100System(4), []int{16, 2, 2}, []int{0, 2}},
-	{"superpod-2x4", p2.SuperPodSystem(2, 4), []int{8, 8}, []int{0}},
+	{"fig2a", p2.Fig2aSystem(), []int{4, 4}, []int{0}, nil},
+	{"fig2a-multi-axis", p2.Fig2aSystem(), []int{2, 2, 4}, []int{0, 2}, nil},
+	{"a100-4", p2.A100System(4), []int{4, 16}, []int{0}, nil},
+	{"a100-4-multi-axis", p2.A100System(4), []int{16, 2, 2}, []int{0, 2}, nil},
+	{"superpod-2x4", p2.SuperPodSystem(2, 4), []int{8, 8}, []int{0}, nil},
+	// The per-step algorithm search must reproduce the serial brute-force
+	// sweep byte for byte — assignments, predictions and tie order.
+	{"fig2a-auto", p2.Fig2aSystem(), []int{4, 4}, []int{0}, p2.ExtendedAlgorithms},
+	{"a100-4-auto", p2.A100System(4), []int{4, 16}, []int{0}, p2.ExtendedAlgorithms},
+	{"superpod-2x4-auto", p2.SuperPodSystem(2, 4), []int{8, 8}, []int{0}, p2.ExtendedAlgorithms},
 }
 
 func TestPlanParallelMatchesSerial(t *testing.T) {
 	for _, tc := range determinismCases {
 		t.Run(tc.name, func(t *testing.T) {
-			req := p2.Request{Axes: tc.axes, ReduceAxes: tc.red}
+			req := p2.Request{Axes: tc.axes, ReduceAxes: tc.red, Algos: tc.algos}
 			serial, err := p2.PlanSerial(tc.sys, req)
 			if err != nil {
 				t.Fatal(err)
@@ -112,7 +120,8 @@ func TestPlanJointParallelMatchesSerial(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			reductions := []p2.Reduction{
 				{ReduceAxes: []int{0}, Bytes: 1 << 30},
-				{ReduceAxes: []int{1}, Bytes: 1 << 26, Count: 48},
+				{ReduceAxes: []int{1}, Bytes: 1 << 26, Count: 48,
+					Algos: p2.ExtendedAlgorithms},
 			}
 			serial, err := p2.PlanJointSerial(tc.sys, tc.axes, reductions)
 			if err != nil {

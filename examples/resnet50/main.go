@@ -31,39 +31,45 @@ func main() {
 	fmt.Println("system:", sys)
 	fmt.Printf("gradient payload: %.1f MB per GPU\n", float64(gradientBytes)/1e6)
 
-	// Pure data parallelism: one axis covering all 32 GPUs. Plan under
-	// both NCCL algorithms and take the overall best, as a deployment
-	// would (NCCL_ALGO is a free knob).
-	var tBase float64
+	// Pure data parallelism: one axis covering all 32 GPUs. NCCL_ALGO is
+	// a free knob, so instead of planning per algorithm and comparing by
+	// hand, let the planner search the per-step assignment over the full
+	// Ring/Tree/HalvingDoubling space (Request.Algos).
+	plan, err := p2.Plan(sys, p2.Request{
+		Axes:       []int{32},
+		ReduceAxes: []int{0},
+		Bytes:      gradientBytes,
+		Algos:      p2.ExtendedAlgorithms,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The comparison baseline stays the NCCL default: a plain ring
+	// AllReduce, planned with the algorithm pinned.
+	ringPlan, err := p2.Plan(sys, p2.Request{
+		Axes:       []int{32},
+		ReduceAxes: []int{0},
+		Bytes:      gradientBytes,
+		Algo:       p2.Ring,
+		Matrix:     plan.Strategies[0].Matrix,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tBase := ringPlan.BaselineFor(plan.Strategies[0].Matrix).Measure()
 	var best *p2.Strategy
-	var bestAlgo p2.Algorithm
 	tBest := -1.0
-	for _, algo := range []p2.Algorithm{p2.Ring, p2.Tree} {
-		plan, err := p2.Plan(sys, p2.Request{
-			Axes:       []int{32},
-			ReduceAxes: []int{0},
-			Bytes:      gradientBytes,
-			Algo:       algo,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		m := plan.Strategies[0].Matrix
-		if algo == p2.Ring {
-			tBase = plan.BaselineFor(m).Measure() // the NCCL default
-		}
-		fmt.Printf("\n%v strategies (emulated):\n", algo)
-		for i, s := range plan.Strategies {
-			t := s.Measure()
-			fmt.Printf("  %2d: %7.2f ms  %v\n", i+1, t*1e3, s.Program)
-			if tBest < 0 || t < tBest {
-				tBest, best, bestAlgo = t, s, algo
-			}
+	fmt.Printf("\nstrategies with searched per-step algorithms (emulated):\n")
+	for i, s := range plan.Strategies {
+		t := s.Measure()
+		fmt.Printf("  %2d: %7.2f ms  [%s] %v\n", i+1, t*1e3, s.AlgoString(), s.Program)
+		if tBest < 0 || t < tBest {
+			tBest, best = t, s
 		}
 	}
 
 	fmt.Printf("\ndefault ring AllReduce: %6.2f ms\n", tBase*1e3)
-	fmt.Printf("optimal synthesized:    %6.2f ms  [%v] %v\n", tBest*1e3, bestAlgo, best.Program)
+	fmt.Printf("optimal synthesized:    %6.2f ms  [%s] %v\n", tBest*1e3, best.AlgoString(), best.Program)
 	fmt.Printf("communication speedup: %.2f×\n", tBase/tBest)
 
 	iterBase := computePhaseMS + tBase*1e3

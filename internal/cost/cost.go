@@ -15,6 +15,7 @@ package cost
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"p2/internal/collective"
 	"p2/internal/lower"
@@ -158,6 +159,74 @@ func (m *Model) ProgramTime(p *lower.Program) float64 {
 	return total
 }
 
+// StepTimeAlgo is StepTime under an explicit algorithm, overriding m.Algo.
+// It is the evaluation primitive of the per-step algorithm search: a step
+// is free to run a different NCCL_ALGO than its neighbors because steps
+// are barriers.
+func (m *Model) StepTimeAlgo(st lower.Step, algo Algorithm) float64 {
+	mm := *m
+	mm.Algo = algo
+	return mm.StepTime(st)
+}
+
+// BestStepAlgos brute-forces the per-step algorithm sweep: for every step
+// of p it evaluates every algorithm in algos and keeps the cheapest (ties
+// go to the earliest algorithm in the slice), returning the assignment and
+// the summed program time. Because steps are barriers, the per-step
+// minimum is the exact program optimum over the |algos|^steps assignment
+// space. The sum runs in step order over per-step minima, so the memoized
+// planner (internal/plan) reproduces it bit for bit.
+func (m *Model) BestStepAlgos(p *lower.Program, algos []Algorithm) ([]Algorithm, float64) {
+	if len(algos) == 0 {
+		panic("cost: BestStepAlgos with no algorithms")
+	}
+	assign := make([]Algorithm, len(p.Steps))
+	total := 0.0
+	for i, st := range p.Steps {
+		best := m.StepTimeAlgo(st, algos[0])
+		assign[i] = algos[0]
+		for _, a := range algos[1:] {
+			if t := m.StepTimeAlgo(st, a); t < best {
+				best, assign[i] = t, a
+			}
+		}
+		total += best
+	}
+	return assign, total
+}
+
+// UniformAlgo reports whether a per-step assignment uses one algorithm
+// throughout, returning it. Uniform assignments are canonicalized to a
+// fixed algorithm (nil assignment) by every consumer so that e.g. an
+// all-Ring auto choice measures byte-identically to a fixed-Ring run.
+func UniformAlgo(stepAlgos []Algorithm) (Algorithm, bool) {
+	if len(stepAlgos) == 0 {
+		return 0, false
+	}
+	for _, a := range stepAlgos[1:] {
+		if a != stepAlgos[0] {
+			return 0, false
+		}
+	}
+	return stepAlgos[0], true
+}
+
+// FormatAlgos renders an algorithm choice compactly: the fixed
+// algorithm's name when stepAlgos is nil, a "/"-joined per-step sequence
+// otherwise (e.g. "Ring/HalvingDoubling/Ring"). Shared by the public
+// Strategy and the eval harness so assignments render identically
+// everywhere.
+func FormatAlgos(fixed Algorithm, stepAlgos []Algorithm) string {
+	if stepAlgos == nil {
+		return fixed.String()
+	}
+	names := make([]string, len(stepAlgos))
+	for i, a := range stepAlgos {
+		names[i] = a.String()
+	}
+	return strings.Join(names, "/")
+}
+
 // schedule expands one group's collective into transfer edges plus the
 // number of pipeline rounds (for the latency term). perDevice is the input
 // payload bytes held by each participant.
@@ -289,8 +358,21 @@ func logRounds(n int) int {
 	return int(math.Ceil(math.Log2(float64(n))))
 }
 
-// PayloadBytes returns the paper's experiment payload for a node count:
-// 2^29 × nodes float32 values per GPU (§4).
-func PayloadBytes(nodes int) float64 {
-	return float64(uint64(1)<<29) * float64(nodes) * 4
+// PayloadBytes returns the paper's experiment payload for a machine count:
+// 2^29 × machines float32 values per GPU (§4). "Machines" is the number of
+// NIC-owning entities — for multi-level systems the product of all
+// non-leaf level counts (topology.System.NumMachines), NOT the root level
+// count: SuperPodSystem(2, 4) has 8 machines (2 pods × 4 nodes), so its
+// default payload is 2^29 × 8 × 4 bytes. For the paper's two-level
+// testbeds the two conventions coincide.
+func PayloadBytes(machines int) float64 {
+	return float64(uint64(1)<<29) * float64(machines) * 4
+}
+
+// DefaultPayload returns the paper's default per-device payload for a
+// system: PayloadBytes of its machine count. Every payload-defaulting call
+// site (p2.Plan, p2.PlanSerial, p2.PlanJointOpts, eval.Config) uses this
+// so that deep hierarchies scale by machines, not by the root level.
+func DefaultPayload(sys *topology.System) float64 {
+	return PayloadBytes(sys.NumMachines())
 }

@@ -22,13 +22,27 @@ import (
 // latency terms are paid per bucket, so very large B loses. This is an
 // extension beyond the paper, which reduces the full payload in one shot.
 func (m *Model) PipelinedTime(p *lower.Program, buckets int) float64 {
+	return m.PipelinedTimeSteps(p, buckets, nil)
+}
+
+// PipelinedTimeSteps is PipelinedTime under a per-step algorithm
+// assignment (nil = m.Algo for every step).
+func (m *Model) PipelinedTimeSteps(p *lower.Program, buckets int, stepAlgos []Algorithm) float64 {
 	if buckets < 1 {
 		panic(fmt.Sprintf("cost: PipelinedTime with %d buckets", buckets))
 	}
+	if stepAlgos != nil && len(stepAlgos) != len(p.Steps) {
+		panic(fmt.Sprintf("cost: %d step algorithms for %d steps", len(stepAlgos), len(p.Steps)))
+	}
 	scaled := &Model{Sys: m.Sys, Algo: m.Algo, Bytes: m.Bytes / float64(buckets)}
 	sum, worst := 0.0, 0.0
-	for _, st := range p.Steps {
-		t := scaled.StepTime(st)
+	for i, st := range p.Steps {
+		t := 0.0
+		if stepAlgos != nil {
+			t = scaled.StepTimeAlgo(st, stepAlgos[i])
+		} else {
+			t = scaled.StepTime(st)
+		}
 		sum += t
 		if t > worst {
 			worst = t
@@ -40,12 +54,18 @@ func (m *Model) PipelinedTime(p *lower.Program, buckets int) float64 {
 // OptimalBuckets scans bucket counts 1..maxBuckets and returns the count
 // minimizing PipelinedTime together with that time.
 func OptimalBuckets(m *Model, p *lower.Program, maxBuckets int) (int, float64) {
+	return OptimalBucketsSteps(m, p, maxBuckets, nil)
+}
+
+// OptimalBucketsSteps is OptimalBuckets under a per-step algorithm
+// assignment (nil = m.Algo for every step).
+func OptimalBucketsSteps(m *Model, p *lower.Program, maxBuckets int, stepAlgos []Algorithm) (int, float64) {
 	if maxBuckets < 1 {
 		maxBuckets = 1
 	}
-	bestB, bestT := 1, m.PipelinedTime(p, 1)
+	bestB, bestT := 1, m.PipelinedTimeSteps(p, 1, stepAlgos)
 	for b := 2; b <= maxBuckets; b++ {
-		if t := m.PipelinedTime(p, b); t < bestT {
+		if t := m.PipelinedTimeSteps(p, b, stepAlgos); t < bestT {
 			bestB, bestT = b, t
 		}
 	}

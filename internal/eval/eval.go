@@ -29,8 +29,15 @@ type Config struct {
 	Axes       []int
 	ReduceAxes []int
 	Algo       cost.Algorithm
+	// Algos, when it has two or more entries, sweeps the per-step
+	// algorithm assignment of every program over the set ("auto" mode,
+	// NCCL_ALGO as a searched dimension): each step is predicted and
+	// measured under the algorithm the cost model picks for it. Empty or
+	// single-entry slices pin every step to Algo (resp. the entry).
+	Algos []cost.Algorithm
 	// Bytes is the per-device payload; 0 means the paper's default
-	// (2^29 × nodes float32, with "nodes" = the root level count).
+	// (2^29 × machines float32, machines = product of all non-leaf level
+	// counts).
 	Bytes float64
 	// Synth carries synthesizer options (zero value = paper defaults).
 	Synth synth.Options
@@ -47,7 +54,19 @@ func (c Config) payload() float64 {
 	if c.Bytes > 0 {
 		return c.Bytes
 	}
-	return cost.PayloadBytes(c.Sys.Levels[0].Count)
+	return cost.DefaultPayload(c.Sys)
+}
+
+// algoLabel names the config's algorithm dimension: the pinned algorithm,
+// or "auto" when a set is searched.
+func (c Config) algoLabel() string {
+	if len(c.Algos) > 1 {
+		return "auto"
+	}
+	if len(c.Algos) == 1 {
+		return c.Algos[0].String()
+	}
+	return c.Algo.String()
 }
 
 func (c Config) hierOpts() hierarchy.Options {
@@ -61,9 +80,10 @@ func (c Config) hierOpts() hierarchy.Options {
 	return o
 }
 
-// String identifies the config, e.g. "a100-4node/[16 2 2]/red[0 2]/Ring".
+// String identifies the config, e.g. "a100-4node/[16 2 2]/red[0 2]/Ring"
+// (or ".../auto" when an algorithm set is swept).
 func (c Config) String() string {
-	return fmt.Sprintf("%s/%v/red%v/%s", c.Sys.Name, c.Axes, c.ReduceAxes, c.Algo)
+	return fmt.Sprintf("%s/%v/red%v/%s", c.Sys.Name, c.Axes, c.ReduceAxes, c.algoLabel())
 }
 
 // ProgramResult is one synthesized program with its predicted and measured
@@ -73,6 +93,20 @@ type ProgramResult struct {
 	Lowered   *lower.Program
 	Predicted float64 // analytic model, seconds
 	Measured  float64 // event-level emulator, seconds
+	// StepAlgos is the winning per-step algorithm assignment in auto
+	// mode; nil when the sweep pinned one algorithm or the winner was
+	// uniform (AlgoString names it either way).
+	StepAlgos []cost.Algorithm
+	// Algo is the fixed algorithm of every step not overridden by
+	// StepAlgos (the config's pinned algorithm, or the uniform winner of
+	// an auto sweep).
+	Algo cost.Algorithm
+}
+
+// AlgoString names the program's algorithm assignment compactly: one name
+// when uniform, a "/"-joined per-step sequence otherwise.
+func (p ProgramResult) AlgoString() string {
+	return cost.FormatAlgos(p.Algo, p.StepAlgos)
 }
 
 // MatrixResult groups the programs synthesized for one parallelism matrix.
@@ -232,8 +266,12 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{Config: cfg}
-	model := &cost.Model{Sys: cfg.Sys, Algo: cfg.Algo, Bytes: cfg.payload()}
-	sim := &netsim.Simulator{Sys: cfg.Sys, Algo: cfg.Algo, Bytes: cfg.payload(), Opts: cfg.NetsimOpts}
+	algo := cfg.Algo
+	if len(cfg.Algos) == 1 {
+		algo = cfg.Algos[0]
+	}
+	model := &cost.Model{Sys: cfg.Sys, Algo: algo, Bytes: cfg.payload()}
+	sim := &netsim.Simulator{Sys: cfg.Sys, Algo: algo, Bytes: cfg.payload(), Opts: cfg.NetsimOpts}
 	baselineStr := synth.BaselineAllReduce().String()
 	for _, m := range matrices {
 		h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, cfg.ReduceAxes, cfg.hierOpts())
@@ -253,21 +291,29 @@ func Run(cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("eval: lowering %v for %v: %w", p, m, err)
 			}
+			pr := ProgramResult{Program: p, Lowered: lp, Algo: algo}
 			t0 := time.Now()
-			pred := model.ProgramTime(lp)
+			if len(cfg.Algos) > 1 {
+				stepAlgos, pred := model.BestStepAlgos(lp, cfg.Algos)
+				pr.Predicted = pred
+				if a, ok := cost.UniformAlgo(stepAlgos); ok {
+					pr.Algo = a
+				} else {
+					pr.StepAlgos = stepAlgos
+				}
+			} else {
+				pr.Predicted = model.ProgramTime(lp)
+			}
 			res.SimulationTime += time.Since(t0)
 			t1 := time.Now()
-			meas := sim.Measure(lp)
+			simAlgo := *sim
+			simAlgo.Algo = pr.Algo
+			pr.Measured = simAlgo.MeasureSteps(lp, pr.StepAlgos)
 			res.MeasureTime += time.Since(t1)
 			if p.String() == baselineStr {
 				mr.BaselineIdx = len(mr.Programs)
 			}
-			mr.Programs = append(mr.Programs, ProgramResult{
-				Program:   p,
-				Lowered:   lp,
-				Predicted: pred,
-				Measured:  meas,
-			})
+			mr.Programs = append(mr.Programs, pr)
 		}
 		if mr.BaselineIdx < 0 {
 			return nil, fmt.Errorf("eval: baseline AllReduce not synthesized for %v", m)
@@ -288,7 +334,19 @@ func MeasureBaseline(cfg Config, m *placement.Matrix) (float64, float64, error) 
 	if err != nil {
 		return 0, 0, err
 	}
-	model := &cost.Model{Sys: cfg.Sys, Algo: cfg.Algo, Bytes: cfg.payload()}
-	sim := &netsim.Simulator{Sys: cfg.Sys, Algo: cfg.Algo, Bytes: cfg.payload(), Opts: cfg.NetsimOpts}
+	algo := cfg.Algo
+	if len(cfg.Algos) == 1 {
+		algo = cfg.Algos[0]
+	}
+	model := &cost.Model{Sys: cfg.Sys, Algo: algo, Bytes: cfg.payload()}
+	sim := &netsim.Simulator{Sys: cfg.Sys, Algo: algo, Bytes: cfg.payload(), Opts: cfg.NetsimOpts}
+	if len(cfg.Algos) > 1 {
+		stepAlgos, pred := model.BestStepAlgos(lp, cfg.Algos)
+		if a, ok := cost.UniformAlgo(stepAlgos); ok {
+			sim.Algo = a
+			stepAlgos = nil
+		}
+		return pred, sim.MeasureSteps(lp, stepAlgos), nil
+	}
 	return model.ProgramTime(lp), sim.Measure(lp), nil
 }

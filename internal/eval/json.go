@@ -37,6 +37,10 @@ type ProgramJSON struct {
 	Steps     int     `json:"steps"`
 	Predicted float64 `json:"predicted_secs"`
 	Measured  float64 `json:"measured_secs"`
+	// Algorithm is the per-program algorithm choice: one name when every
+	// step agrees, a "/"-joined per-step sequence when the auto search
+	// mixed algorithms.
+	Algorithm string `json:"algorithm"`
 }
 
 // ToJSON serializes sweep results as indented JSON.
@@ -48,7 +52,7 @@ func ToJSON(results []*Result) ([]byte, error) {
 			Hierarchy:      r.Config.Sys.Hierarchy(),
 			Axes:           r.Config.Axes,
 			ReduceAxes:     r.Config.ReduceAxes,
-			Algorithm:      r.Config.Algo.String(),
+			Algorithm:      r.Config.algoLabel(),
 			PayloadBytes:   r.Config.payload(),
 			SynthesisSecs:  r.SynthesisTime.Seconds(),
 			SimulationSecs: r.SimulationTime.Seconds(),
@@ -66,6 +70,7 @@ func ToJSON(results []*Result) ([]byte, error) {
 					Steps:     len(p.Lowered.Steps),
 					Predicted: p.Predicted,
 					Measured:  p.Measured,
+					Algorithm: p.AlgoString(),
 				})
 			}
 			rj.Matrices = append(rj.Matrices, mj)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"p2/internal/cost"
 	"p2/internal/placement"
@@ -101,7 +102,8 @@ func BuildTable4(results []*Result) *Table {
 	t := &Table{
 		Caption: "Table 4 — AllReduce vs. synthesized optimal reduction strategy (measured seconds)",
 		Header: []string{"System", "Algo", "Axes", "Reduce", "Synthesis (s)",
-			"Outperform/Total", "Matrix", "AllReduce", "Optimal", "Speedup", "Optimal program"},
+			"Outperform/Total", "Matrix", "AllReduce", "Optimal", "Speedup",
+			"Optimal program", "Optimal algo"},
 	}
 	for _, r := range results {
 		first := true
@@ -111,7 +113,7 @@ func BuildTable4(results []*Result) *Table {
 			if first {
 				lead = []string{
 					r.Config.Sys.Name,
-					r.Config.Algo.String(),
+					r.Config.algoLabel(),
 					fmt.Sprintf("%v", r.Config.Axes),
 					fmt.Sprintf("%v", r.Config.ReduceAxes),
 					fmt.Sprintf("%.3f", r.SynthesisTime.Seconds()),
@@ -125,8 +127,78 @@ func BuildTable4(results []*Result) *Table {
 				secs(best.Measured),
 				fmt.Sprintf("%.2f×", mr.Speedup()),
 				best.Program.String(),
+				best.AlgoString(),
 			))
 		}
+	}
+	return t
+}
+
+// RunAutoComparison executes the fixed-Ring, fixed-Tree and auto
+// (cfg.Algos, default ExtendedAlgorithms) sweeps of one config, for
+// comparing the searched per-step algorithm assignment against the
+// paper's pinned NCCL_ALGO settings.
+func RunAutoComparison(cfg Config) (ring, tree, auto *Result, err error) {
+	fixedRing, fixedTree := cfg, cfg
+	fixedRing.Algos, fixedRing.Algo = nil, cost.Ring
+	fixedTree.Algos, fixedTree.Algo = nil, cost.Tree
+	if len(cfg.Algos) < 2 {
+		cfg.Algos = cost.ExtendedAlgorithms
+	}
+	// The three sweeps redo the same synthesis and lowering, differing
+	// only in scoring; run them concurrently so the shared portion costs
+	// wall-clock once.
+	results := make([]*Result, 3)
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	for i, c := range []Config{fixedRing, fixedTree, cfg} {
+		wg.Add(1)
+		go func(i int, c Config) {
+			defer wg.Done()
+			results[i], errs[i] = Run(c)
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return results[0], results[1], results[2], nil
+}
+
+// BuildAutoComparison tabulates the three sweeps of RunAutoComparison per
+// matrix: the measured-best strategy under pinned Ring, pinned Tree and
+// the auto search, the auto winner's assignment, and its measured speedup
+// over the fixed-Ring best. Rows where auto strictly beats both pinned
+// algorithms are marked "auto".
+func BuildAutoComparison(ring, tree, auto *Result) *Table {
+	t := &Table{
+		Caption: fmt.Sprintf("Algorithm search — fixed NCCL_ALGO vs. per-step auto on %s (best measured seconds per matrix)",
+			auto.Config),
+		Header: []string{"Matrix", "Ring", "Tree", "Auto", "Auto assignment",
+			"vs Ring", "Winner"},
+	}
+	for mi, amr := range auto.Matrices {
+		rBest := ring.Matrices[mi].Programs[ring.Matrices[mi].BestMeasured()].Measured
+		tBest := tree.Matrices[mi].Programs[tree.Matrices[mi].BestMeasured()].Measured
+		aProg := amr.Programs[amr.BestMeasured()]
+		winner := "Ring"
+		switch {
+		case aProg.Measured < rBest && aProg.Measured < tBest:
+			winner = "auto"
+		case tBest < rBest:
+			winner = "Tree"
+		}
+		t.Rows = append(t.Rows, []string{
+			amr.Matrix.String(),
+			secs(rBest),
+			secs(tBest),
+			secs(aProg.Measured),
+			aProg.AlgoString(),
+			fmt.Sprintf("%.2f×", rBest/aProg.Measured),
+			winner,
+		})
 	}
 	return t
 }

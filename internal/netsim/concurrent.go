@@ -15,6 +15,10 @@ type ConcurrentSpec struct {
 	Bytes   float64
 	Algo    cost.Algorithm
 	HasAlgo bool
+	// StepAlgos, when non-nil, assigns a per-step algorithm (one entry
+	// per step of Program), overriding Algo step by step; uniform
+	// assignments are canonicalized to the fixed algorithm they name.
+	StepAlgos []cost.Algorithm
 }
 
 // MeasureConcurrent emulates several lowered programs executing at the
@@ -40,25 +44,20 @@ func (s *Simulator) MeasureConcurrentSpecs(specs []ConcurrentSpec) []float64 {
 	if len(specs) == 0 {
 		return nil
 	}
-	opts := s.Opts
-	if opts.NoiseFrac == 0 {
-		opts.NoiseFrac = defaultNoiseFrac
-	}
-	if opts.LaunchOverhead == 0 {
-		opts.LaunchOverhead = defaultLaunchOverhead
-	}
+	opts := s.Opts.effective()
 
 	type laneState struct {
-		steps   []lower.Step
-		stepIdx int
-		groups  []*groupRun
-		live    int // unfinished groups of the current step
-		nextAt  float64
-		done    bool
-		finish  float64
-		noise   *noiseStream
-		bytes   float64
-		algo    cost.Algorithm
+		steps     []lower.Step
+		stepAlgos []cost.Algorithm // per fused step; nil = algo throughout
+		stepIdx   int
+		groups    []*groupRun
+		live      int // unfinished groups of the current step
+		nextAt    float64
+		done      bool
+		finish    float64
+		noise     *noiseStream
+		bytes     float64
+		algo      cost.Algorithm
 	}
 
 	resIdx := map[resKey]int{}
@@ -103,10 +102,6 @@ func (s *Simulator) MeasureConcurrentSpecs(specs []ConcurrentSpec) []float64 {
 			panic(fmt.Sprintf("netsim: program has %d devices, system %d",
 				p.NumDevices, s.Sys.NumDevices()))
 		}
-		steps := p.Steps
-		if !opts.DisableFusion {
-			steps = FuseAllReduces(steps)
-		}
 		bytes := spec.Bytes
 		if bytes <= 0 {
 			bytes = s.Bytes
@@ -115,12 +110,26 @@ func (s *Simulator) MeasureConcurrentSpecs(specs []ConcurrentSpec) []float64 {
 		if spec.HasAlgo {
 			algo = spec.Algo
 		}
+		stepAlgos := spec.StepAlgos
+		if stepAlgos != nil && len(stepAlgos) != len(p.Steps) {
+			panic(fmt.Sprintf("netsim: %d step algorithms for %d steps",
+				len(stepAlgos), len(p.Steps)))
+		}
+		if a, ok := cost.UniformAlgo(stepAlgos); ok {
+			algo, stepAlgos = a, nil
+		}
+		steps := p.Steps
+		if !opts.DisableFusion {
+			steps, stepAlgos = fuseStepsAlgos(steps, stepAlgos)
+		}
 		lanes[li] = &laneState{
-			steps:  steps,
-			bytes:  bytes,
-			algo:   algo,
-			nextAt: opts.LaunchOverhead,
-			noise: newNoise(opts.Seed ^ fingerprint(s.Sys.Name, int(algo), p.Key()) ^
+			steps:     steps,
+			stepAlgos: stepAlgos,
+			bytes:     bytes,
+			algo:      algo,
+			nextAt:    opts.LaunchOverhead,
+			noise: newNoise(opts.Seed ^
+				fingerprintAlgos(fingerprint(s.Sys.Name, int(algo), p.Key()), stepAlgos) ^
 				uint64(li)*0x9e3779b97f4a7c15),
 		}
 	}
@@ -136,11 +145,15 @@ func (s *Simulator) MeasureConcurrentSpecs(specs []ConcurrentSpec) []float64 {
 	startStep := func(li int) {
 		lane := lanes[li]
 		st := lane.steps[lane.stepIdx]
+		stepAlgo := lane.algo
+		if lane.stepAlgos != nil {
+			stepAlgo = lane.stepAlgos[lane.stepIdx]
+		}
 		perDevice := st.FracIn() * lane.bytes
 		lane.groups = lane.groups[:0]
 		lane.live = 0
 		for gi, g := range st.Groups {
-			rounds := scheduleRounds(s.Sys, st.Op, g, perDevice, lane.algo)
+			rounds := scheduleRounds(s.Sys, st.Op, g, perDevice, stepAlgo)
 			lat := 0.0
 			for _, rd := range rounds {
 				for _, tr := range rd {

@@ -38,10 +38,13 @@ type Options struct {
 	// Seed perturbs the deterministic noise stream.
 	Seed uint64
 	// NoiseFrac is the maximum multiplicative payload jitter (default
-	// 0.04, i.e. transfers are up to 4% slower than nominal).
+	// 0.04, i.e. transfers are up to 4% slower than nominal). A literal
+	// zero means "use the default"; turn jitter off with DisableNoise.
 	NoiseFrac float64
 	// LaunchOverhead is the fixed per-step cost in seconds (kernel launch
-	// + NCCL setup; default 30 µs).
+	// + NCCL setup; default 30 µs). A literal zero means "use the
+	// default"; an explicit zero overhead is expressed with
+	// DisableLaunchOverhead.
 	LaunchOverhead float64
 	// DisableFusion turns off the consecutive-AllReduce fusion peephole.
 	DisableFusion bool
@@ -49,12 +52,32 @@ type Options struct {
 	DisableCrossDomain bool
 	// DisableNoise turns off jitter (useful for exact-value tests).
 	DisableNoise bool
+	// DisableLaunchOverhead forces a zero per-step cost, overriding
+	// LaunchOverhead — the overhead analogue of DisableNoise (useful for
+	// cross-checks against the analytic model, which has no launch term).
+	DisableLaunchOverhead bool
 }
 
 const (
 	defaultNoiseFrac      = 0.04
 	defaultLaunchOverhead = 30e-6
 )
+
+// effective resolves the option defaults: zero NoiseFrac / LaunchOverhead
+// mean "default", with DisableNoise / DisableLaunchOverhead as the
+// explicit-zero sentinels.
+func (o Options) effective() Options {
+	if o.NoiseFrac == 0 {
+		o.NoiseFrac = defaultNoiseFrac
+	}
+	if o.LaunchOverhead == 0 {
+		o.LaunchOverhead = defaultLaunchOverhead
+	}
+	if o.DisableLaunchOverhead {
+		o.LaunchOverhead = 0
+	}
+	return o
+}
 
 // Event describes one completed transfer, for tracing/visualization.
 type Event struct {
@@ -86,26 +109,43 @@ type Simulator struct {
 
 // Measure returns the emulated end-to-end runtime in seconds.
 func (s *Simulator) Measure(p *lower.Program) float64 {
+	return s.MeasureSteps(p, nil)
+}
+
+// MeasureSteps is Measure under a per-step algorithm assignment (one entry
+// per step of p, as produced by the planner's multi-algorithm search); nil
+// runs every step with the simulator's Algo. A uniform assignment is
+// canonicalized to the fixed algorithm it names, so an all-Ring auto
+// choice measures byte-identically to a fixed-Ring run. Steps assigned
+// different algorithms are never fused.
+func (s *Simulator) MeasureSteps(p *lower.Program, stepAlgos []cost.Algorithm) float64 {
 	if p.NumDevices != s.Sys.NumDevices() {
 		panic(fmt.Sprintf("netsim: program has %d devices, system %d",
 			p.NumDevices, s.Sys.NumDevices()))
 	}
-	opts := s.Opts
-	if opts.NoiseFrac == 0 {
-		opts.NoiseFrac = defaultNoiseFrac
+	if stepAlgos != nil && len(stepAlgos) != len(p.Steps) {
+		panic(fmt.Sprintf("netsim: %d step algorithms for %d steps",
+			len(stepAlgos), len(p.Steps)))
 	}
-	if opts.LaunchOverhead == 0 {
-		opts.LaunchOverhead = defaultLaunchOverhead
+	algo := s.Algo
+	if a, ok := cost.UniformAlgo(stepAlgos); ok {
+		algo, stepAlgos = a, nil
 	}
+	opts := s.Opts.effective()
 	steps := p.Steps
 	if !opts.DisableFusion {
-		steps = FuseAllReduces(steps)
+		steps, stepAlgos = fuseStepsAlgos(steps, stepAlgos)
 	}
-	noise := newNoise(opts.Seed ^ fingerprint(s.Sys.Name, int(s.Algo), p.Key()))
+	noise := newNoise(opts.Seed ^
+		fingerprintAlgos(fingerprint(s.Sys.Name, int(algo), p.Key()), stepAlgos))
 	total := 0.0
 	for si, st := range steps {
+		stepAlgo := algo
+		if stepAlgos != nil {
+			stepAlgo = stepAlgos[si]
+		}
 		total += opts.LaunchOverhead
-		total += s.runStep(st, si, total, noise, opts)
+		total += s.runStep(st, stepAlgo, si, total, noise, opts)
 	}
 	return total
 }
@@ -152,7 +192,7 @@ type groupRun struct {
 	done     bool
 }
 
-func (s *Simulator) runStep(st lower.Step, stepIdx int, base float64, noise *noiseStream, opts Options) float64 {
+func (s *Simulator) runStep(st lower.Step, algo cost.Algorithm, stepIdx int, base float64, noise *noiseStream, opts Options) float64 {
 	resIdx := map[resKey]int{}
 	var resources []resource
 	getRes := func(k resKey, bw float64) int {
@@ -168,7 +208,7 @@ func (s *Simulator) runStep(st lower.Step, stepIdx int, base float64, noise *noi
 	groups := make([]*groupRun, len(st.Groups))
 	live := 0
 	for gi, g := range st.Groups {
-		rounds := scheduleRounds(s.Sys, st.Op, g, perDevice, s.Algo)
+		rounds := scheduleRounds(s.Sys, st.Op, g, perDevice, algo)
 		lat := 0.0
 		for _, rd := range rounds {
 			for _, tr := range rd {
@@ -431,9 +471,23 @@ func scheduleRounds(sys *topology.System, op collective.Op, g []int, perDevice f
 // composition is associative over components), so this is semantics
 // preserving; it is exposed for tests and ablations.
 func FuseAllReduces(steps []lower.Step) []lower.Step {
+	out, _ := fuseStepsAlgos(steps, nil)
+	return out
+}
+
+// fuseStepsAlgos is FuseAllReduces carrying an optional per-step algorithm
+// assignment alongside: steps assigned different algorithms would not be
+// fused by XLA into one collective, so they only merge when their
+// algorithms agree, and the fused step inherits the shared algorithm.
+func fuseStepsAlgos(steps []lower.Step, algos []cost.Algorithm) ([]lower.Step, []cost.Algorithm) {
 	out := make([]lower.Step, 0, len(steps))
-	for _, st := range steps {
-		if len(out) > 0 && st.Op == collective.AllReduce && out[len(out)-1].Op == collective.AllReduce {
+	var outAlgos []cost.Algorithm
+	if algos != nil {
+		outAlgos = make([]cost.Algorithm, 0, len(algos))
+	}
+	for i, st := range steps {
+		if len(out) > 0 && st.Op == collective.AllReduce && out[len(out)-1].Op == collective.AllReduce &&
+			(algos == nil || algos[i] == outAlgos[len(outAlgos)-1]) {
 			prev := out[len(out)-1]
 			merged := mergeGroups(prev.Groups, st.Groups)
 			if merged != nil {
@@ -444,8 +498,11 @@ func FuseAllReduces(steps []lower.Step) []lower.Step {
 			}
 		}
 		out = append(out, st)
+		if algos != nil {
+			outAlgos = append(outAlgos, algos[i])
+		}
 	}
-	return out
+	return out, outAlgos
 }
 
 // mergeGroups unions two partitions into connected components. It returns
@@ -519,6 +576,16 @@ func (n *noiseStream) next(vals ...int) float64 {
 	x ^= x >> 32
 	n.state = n.state*6364136223846793005 + 1442695040888963407
 	return float64(x%1_000_003) / 1_000_003
+}
+
+// fingerprintAlgos folds a per-step algorithm assignment into a noise
+// fingerprint; a nil assignment leaves it unchanged, so fixed-algorithm
+// runs keep their historical noise streams.
+func fingerprintAlgos(h uint64, stepAlgos []cost.Algorithm) uint64 {
+	for _, a := range stepAlgos {
+		h = (h ^ uint64(int(a)+1)) * 1099511628211
+	}
+	return h
 }
 
 func fingerprint(name string, algo int, key string) uint64 {

@@ -34,7 +34,7 @@ func lowerFor(t *testing.T, hier, axes []int, rows [][]int, red []int, p dsl.Pro
 
 func quietSim(sys *topology.System, algo cost.Algorithm, bytes float64) *Simulator {
 	return &Simulator{Sys: sys, Algo: algo, Bytes: bytes,
-		Opts: Options{DisableNoise: true, LaunchOverhead: 1e-12}}
+		Opts: Options{DisableNoise: true, DisableLaunchOverhead: true}}
 }
 
 func TestMeasureMatchesAnalyticWithinNode(t *testing.T) {

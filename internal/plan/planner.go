@@ -41,6 +41,13 @@ type Options struct {
 	MaxProgramSize int
 	// Collapse is the hierarchy same-level factor collapsing option.
 	Collapse bool
+	// Algos, when it has two or more entries, makes scoring search over
+	// the set per step: every lowered step independently runs the
+	// algorithm minimizing its predicted time (ties go to the earliest
+	// entry), and candidates carry the winning assignment in StepAlgos.
+	// Empty or single-entry slices pin every step to the model's (resp.
+	// the single) algorithm, exactly as before the search existed.
+	Algos []cost.Algorithm
 }
 
 func (o Options) workers(n int) int {
@@ -67,6 +74,10 @@ type Candidate struct {
 	Program   dsl.Program
 	Lowered   *lower.Program
 	Predicted float64
+	// StepAlgos is the winning per-step algorithm assignment (one entry
+	// per lowered step) when Options.Algos enabled the search; nil when
+	// the run was pinned to a single algorithm.
+	StepAlgos []cost.Algorithm
 }
 
 // Less is the total candidate order: predicted time, then placement
@@ -152,23 +163,33 @@ func (p *Planner) synthesize(h *hierarchy.Hierarchy, maxSize int) (*synth.Result
 
 // stepKey identifies a lowered step up to cost equivalence within one
 // placement: the instruction determines Op and the device groups, Rows
-// the payload fraction. RowsOut and K are not read by StepTime (K is
-// constant per hierarchy anyway).
+// the payload fraction, and algo the schedule expansion. RowsOut and K
+// are not read by StepTime (K is constant per hierarchy anyway).
 type stepKey struct {
 	in   dsl.Instruction
 	rows int
+	algo cost.Algorithm
+}
+
+// stepChoice is one memoized per-step search outcome: the winning
+// algorithm and its predicted time.
+type stepChoice struct {
+	algo cost.Algorithm
+	time float64
 }
 
 // PlanMatrix synthesizes, lowers and scores every program for one
 // placement. Programs appear in synthesis order (size, then lexicographic
 // — the same order the serial path appends them in).
 //
-// Scoring memoizes step costs by (instruction, rows): programs sharing a
-// prefix — or merely an instruction at the same payload fraction — share
-// the StepTime evaluations, which dominate serial planning at scale. The
-// per-program sum runs over the same values in the same order as
-// cost.Model.ProgramTime, so predictions are bit-identical to the serial
-// path.
+// Scoring memoizes step costs by (instruction, rows, algo): programs
+// sharing a prefix — or merely an instruction at the same payload
+// fraction — share the StepTime evaluations, which dominate serial
+// planning at scale. With Options.Algos enabling the per-step search, the
+// per-step choice additionally shares the scan over the algorithm set.
+// The per-program sum runs over the same values in the same order as
+// cost.Model.BestStepAlgos (resp. ProgramTime), so predictions are
+// bit-identical to the serial brute-force path.
 func (p *Planner) PlanMatrix(mi int, m *placement.Matrix, reduceAxes []int, model *cost.Model, opts Options) ([]*Candidate, error) {
 	return p.planMatrix(mi, m, reduceAxes, model, opts, &runCounters{})
 }
@@ -184,7 +205,24 @@ func (p *Planner) planMatrix(mi int, m *placement.Matrix, reduceAxes []int, mode
 	} else {
 		rc.synthRuns.Add(1)
 	}
+	fixedAlgo := model.Algo
+	if len(opts.Algos) == 1 {
+		fixedAlgo = opts.Algos[0]
+	}
+	search := len(opts.Algos) > 1
 	stepCost := map[stepKey]float64{}
+	costOf := func(in dsl.Instruction, st lower.Step, a cost.Algorithm) float64 {
+		key := stepKey{in: in, rows: st.Rows, algo: a}
+		c, ok := stepCost[key]
+		if !ok {
+			c = model.StepTimeAlgo(st, a)
+			stepCost[key] = c
+		}
+		return c
+	}
+	// choices memoizes the per-step search winner so programs sharing an
+	// instruction at the same payload fraction also share the argmin scan.
+	choices := map[stepKey]stepChoice{}
 	out := make([]*Candidate, 0, len(res.Programs))
 	for pi, prog := range res.Programs {
 		lp, err := lower.Lower(prog, h)
@@ -192,14 +230,28 @@ func (p *Planner) planMatrix(mi int, m *placement.Matrix, reduceAxes []int, mode
 			return nil, err
 		}
 		predicted := 0.0
+		var stepAlgos []cost.Algorithm
+		if search {
+			stepAlgos = make([]cost.Algorithm, len(lp.Steps))
+		}
 		for si, st := range lp.Steps {
-			key := stepKey{in: prog[si], rows: st.Rows}
-			c, ok := stepCost[key]
-			if !ok {
-				c = model.StepTime(st)
-				stepCost[key] = c
+			if !search {
+				predicted += costOf(prog[si], st, fixedAlgo)
+				continue
 			}
-			predicted += c
+			ck := stepKey{in: prog[si], rows: st.Rows}
+			ch, ok := choices[ck]
+			if !ok {
+				ch = stepChoice{algo: opts.Algos[0], time: costOf(prog[si], st, opts.Algos[0])}
+				for _, a := range opts.Algos[1:] {
+					if t := costOf(prog[si], st, a); t < ch.time {
+						ch = stepChoice{algo: a, time: t}
+					}
+				}
+				choices[ck] = ch
+			}
+			stepAlgos[si] = ch.algo
+			predicted += ch.time
 		}
 		out = append(out, &Candidate{
 			MatrixIdx: mi,
@@ -208,6 +260,7 @@ func (p *Planner) planMatrix(mi int, m *placement.Matrix, reduceAxes []int, mode
 			Program:   prog,
 			Lowered:   lp,
 			Predicted: predicted,
+			StepAlgos: stepAlgos,
 		})
 	}
 	rc.scored.Add(int64(len(out)))
@@ -247,6 +300,10 @@ type JointSpec struct {
 	// Collapse and MaxProgramSize mirror Options per reduction.
 	Collapse       bool
 	MaxProgramSize int
+	// Algos enables the per-step algorithm search for this reduction
+	// (see Options.Algos); each reduction of a joint request may search
+	// its own set.
+	Algos []cost.Algorithm
 }
 
 // JointCandidate is the joint outcome for one placement: the best
@@ -291,6 +348,7 @@ func (p *Planner) RunJoint(matrices []*placement.Matrix, reds []JointSpec, opts 
 		for _, red := range reds {
 			ropts := opts
 			ropts.Collapse = red.Collapse
+			ropts.Algos = red.Algos
 			if red.MaxProgramSize > 0 {
 				ropts.MaxProgramSize = red.MaxProgramSize
 			}

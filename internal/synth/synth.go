@@ -34,7 +34,9 @@ type Options struct {
 	NoMemo bool
 }
 
-const defaultMaxSize = 5
+// DefaultMaxSize is the program-size limit used when Options.MaxSize is
+// zero (the paper uses 5).
+const DefaultMaxSize = 5
 
 // Result is the outcome of a synthesis run.
 type Result struct {
@@ -132,7 +134,7 @@ type memoKey struct {
 func Synthesize(h *hierarchy.Hierarchy, opts Options) *Result {
 	start := time.Now()
 	if opts.MaxSize <= 0 {
-		opts.MaxSize = defaultMaxSize
+		opts.MaxSize = DefaultMaxSize
 	}
 	s := &synthesizer{
 		h:     h,

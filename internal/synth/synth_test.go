@@ -37,7 +37,7 @@ func TestAllSynthesizedProgramsAreValid(t *testing.T) {
 		if !p.Implements(h) {
 			t.Errorf("synthesized program %v does not implement the reduction", p)
 		}
-		if len(p) > defaultMaxSize {
+		if len(p) > DefaultMaxSize {
 			t.Errorf("program %v exceeds size limit", p)
 		}
 	}

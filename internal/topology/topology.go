@@ -164,6 +164,18 @@ func (s *System) NumLevels() int { return len(s.Levels) }
 // NumDevices returns the total number of leaf devices.
 func (s *System) NumDevices() int { return s.radix.Total() }
 
+// NumMachines returns the number of machines in the system: the product of
+// all non-leaf level counts (every entity that owns devices, e.g. 8 for
+// SuperPodSystem(2, 4): 2 pods × 4 nodes). For the paper's two-level
+// systems this equals the root level count.
+func (s *System) NumMachines() int {
+	n := 1
+	for _, l := range s.Levels[:len(s.Levels)-1] {
+		n *= l.Count
+	}
+	return n
+}
+
 // Hierarchy returns the level cardinalities [h0 ... hn].
 func (s *System) Hierarchy() []int { return s.radix.Sizes() }
 

@@ -243,6 +243,24 @@ func TestSuperPodPreset(t *testing.T) {
 	}
 }
 
+func TestNumMachines(t *testing.T) {
+	cases := []struct {
+		sys  *System
+		want int
+	}{
+		{A100System(4), 4},
+		{V100System(2), 2},
+		{SuperPodSystem(2, 4), 8},  // 2 pods × 4 nodes
+		{SuperPodSystem(4, 8), 32}, // 4 pods × 8 nodes
+		{Fig2aSystem(), 4},         // 1 rack × 2 servers × 2 CPUs
+	}
+	for _, tc := range cases {
+		if got := tc.sys.NumMachines(); got != tc.want {
+			t.Errorf("%s: NumMachines = %d, want %d", tc.sys.Name, got, tc.want)
+		}
+	}
+}
+
 func TestSuperPodPanicsOnBadArgs(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -24,6 +24,11 @@ type Reduction struct {
 	Count float64
 	// Algo is the modelled NCCL algorithm (default Ring).
 	Algo Algorithm
+	// Algos, when it has two or more entries, searches the per-step
+	// algorithm assignment for this reduction instead of pinning Algo
+	// (see Request.Algos); each reduction of a joint request may search
+	// its own set.
+	Algos []Algorithm
 }
 
 // JointChoice is the outcome for one placement: the best strategy per
@@ -52,10 +57,11 @@ func (c *JointChoice) MeasureConcurrent() []float64 {
 	specs := make([]netsim.ConcurrentSpec, len(c.PerReduction))
 	for i, s := range c.PerReduction {
 		specs[i] = netsim.ConcurrentSpec{
-			Program: s.lowered,
-			Bytes:   s.bytes,
-			Algo:    s.algo,
-			HasAlgo: true,
+			Program:   s.lowered,
+			Bytes:     s.bytes,
+			Algo:      s.algo,
+			HasAlgo:   true,
+			StepAlgos: s.StepAlgos,
 		}
 	}
 	return sim.MeasureConcurrentSpecs(specs)
@@ -114,13 +120,18 @@ func PlanJointOpts(sys *System, axes []int, reductions []Reduction, opts JointOp
 	for i, red := range reductions {
 		bytes := red.Bytes
 		if bytes <= 0 {
-			bytes = cost.PayloadBytes(sys.Levels[0].Count)
+			bytes = cost.DefaultPayload(sys)
+		}
+		algo := red.Algo
+		if len(red.Algos) == 1 {
+			algo = red.Algos[0]
 		}
 		specs[i] = plan.JointSpec{
 			ReduceAxes: red.ReduceAxes,
-			Model:      &cost.Model{Sys: sys, Algo: red.Algo, Bytes: bytes},
+			Model:      &cost.Model{Sys: sys, Algo: algo, Bytes: bytes},
 			Weight:     red.Count,
 			Collapse:   len(red.ReduceAxes) > 1,
+			Algos:      red.Algos,
 		}
 	}
 	jcs, stats, err := plan.New().RunJoint(matrices, specs, plan.Options{
@@ -143,7 +154,7 @@ func PlanJointOpts(sys *System, axes []int, reductions []Reduction, opts JointOp
 		}
 		for ri, c := range jc.PerReduction {
 			choice.PerReduction = append(choice.PerReduction,
-				strategyFromCandidate(c, sys, reductions[ri].Algo, specs[ri].Model.Bytes))
+				strategyFromCandidate(c, sys, specs[ri].Model.Algo, specs[ri].Model.Bytes))
 		}
 		jp.Choices = append(jp.Choices, choice)
 	}
@@ -170,6 +181,7 @@ func PlanJointSerial(sys *System, axes []int, reductions []Reduction) (*JointPla
 				Axes:       axes,
 				ReduceAxes: red.ReduceAxes,
 				Algo:       red.Algo,
+				Algos:      red.Algos,
 				Bytes:      red.Bytes,
 				Matrix:     m,
 			})

@@ -30,6 +30,7 @@ package p2
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"p2/internal/cost"
@@ -62,10 +63,22 @@ type Program = dsl.Program
 // Algorithm selects the modelled NCCL algorithm.
 type Algorithm = cost.Algorithm
 
+// SimOptions tune the event-level network emulator used by
+// Strategy.MeasureWith/TraceWith (re-exported from the netsim layer).
+type SimOptions = netsim.Options
+
 // Re-exported algorithm constants.
 const (
-	Ring = cost.Ring
-	Tree = cost.Tree
+	Ring            = cost.Ring
+	Tree            = cost.Tree
+	HalvingDoubling = cost.HalvingDoubling
+)
+
+// Re-exported algorithm sets for Request.Algos: the paper's two evaluated
+// algorithms, and the set extended with halving-doubling.
+var (
+	Algorithms         = cost.Algorithms
+	ExtendedAlgorithms = cost.ExtendedAlgorithms
 )
 
 // NewSystem builds a custom system; levels are ordered root-most first and
@@ -107,8 +120,16 @@ type Request struct {
 	ReduceAxes []int
 	// Algo is the NCCL algorithm to model (default Ring).
 	Algo Algorithm
+	// Algos, when it has two or more entries, searches the set instead of
+	// pinning Algo: every step of every candidate independently runs the
+	// algorithm predicted fastest for it (NCCL_ALGO as a tuned dimension,
+	// per the paper's §5 cost-model knobs). Pass cost.ExtendedAlgorithms
+	// (= p2.ExtendedAlgorithms) for the full Ring/Tree/HalvingDoubling
+	// space. nil means {Algo}; a single entry pins that algorithm.
+	Algos []Algorithm
 	// Bytes is the per-device payload in bytes (default: the paper's
-	// 2^29 × nodes float32).
+	// 2^29 × machines float32, where machines is the product of all
+	// non-leaf level counts).
 	Bytes float64
 	// MaxProgramSize limits synthesized program length (default 5).
 	MaxProgramSize int
@@ -131,6 +152,12 @@ type Strategy struct {
 	Matrix    *Matrix
 	Program   Program
 	Predicted float64 // analytic model estimate, seconds
+	// StepAlgos, when non-nil, is the winning per-step algorithm
+	// assignment of a multi-algorithm search (Request.Algos), one entry
+	// per lowered step. nil means every step runs Algo() — including
+	// searched candidates whose winning assignment was uniform, which are
+	// canonicalized to the fixed algorithm they chose.
+	StepAlgos []Algorithm
 
 	lowered *lower.Program
 	sys     *System
@@ -141,20 +168,40 @@ type Strategy struct {
 // Lowered exposes the physical collective steps of the strategy.
 func (s *Strategy) Lowered() *lower.Program { return s.lowered }
 
+// Algo returns the strategy's fixed algorithm; it is the algorithm of
+// every step unless StepAlgos overrides them.
+func (s *Strategy) Algo() Algorithm { return s.algo }
+
+// AlgoString names the strategy's algorithm choice compactly: a single
+// name for fixed-algorithm strategies, a "/"-joined per-step sequence for
+// mixed assignments (e.g. "HalvingDoubling/Ring/HalvingDoubling").
+func (s *Strategy) AlgoString() string {
+	return cost.FormatAlgos(s.algo, s.StepAlgos)
+}
+
 // Measure runs the strategy on the event-level network emulator and
 // returns the emulated runtime in seconds.
-func (s *Strategy) Measure() float64 {
-	sim := &netsim.Simulator{Sys: s.sys, Algo: s.algo, Bytes: s.bytes}
-	return sim.Measure(s.lowered)
+func (s *Strategy) Measure() float64 { return s.MeasureWith(SimOptions{}) }
+
+// MeasureWith is Measure under explicit emulator options (noise, launch
+// overhead, fusion and cross-domain toggles).
+func (s *Strategy) MeasureWith(opts SimOptions) float64 {
+	sim := &netsim.Simulator{Sys: s.sys, Algo: s.algo, Bytes: s.bytes, Opts: opts}
+	return sim.MeasureSteps(s.lowered, s.StepAlgos)
 }
 
 // Trace measures the strategy while recording every transfer, returning
 // the events for visualization (see internal/trace for Chrome export).
 func (s *Strategy) Trace() (float64, []netsim.Event) {
+	return s.TraceWith(SimOptions{})
+}
+
+// TraceWith is Trace under explicit emulator options.
+func (s *Strategy) TraceWith(opts SimOptions) (float64, []netsim.Event) {
 	var events []netsim.Event
-	sim := &netsim.Simulator{Sys: s.sys, Algo: s.algo, Bytes: s.bytes,
+	sim := &netsim.Simulator{Sys: s.sys, Algo: s.algo, Bytes: s.bytes, Opts: opts,
 		Recorder: func(ev netsim.Event) { events = append(events, ev) }}
-	return sim.Measure(s.lowered), events
+	return sim.MeasureSteps(s.lowered, s.StepAlgos), events
 }
 
 // Pipelined predicts the strategy's runtime when the payload is split
@@ -162,19 +209,20 @@ func (s *Strategy) Trace() (float64, []netsim.Event) {
 // pipeline (gradient bucketing).
 func (s *Strategy) Pipelined(buckets int) float64 {
 	model := &cost.Model{Sys: s.sys, Algo: s.algo, Bytes: s.bytes}
-	return model.PipelinedTime(s.lowered, buckets)
+	return model.PipelinedTimeSteps(s.lowered, buckets, s.StepAlgos)
 }
 
 // OptimalBuckets returns the bucket count (1..max) minimizing the
 // pipelined prediction, with the predicted time.
 func (s *Strategy) OptimalBuckets(max int) (int, float64) {
 	model := &cost.Model{Sys: s.sys, Algo: s.algo, Bytes: s.bytes}
-	return cost.OptimalBuckets(model, s.lowered, max)
+	return cost.OptimalBucketsSteps(model, s.lowered, max, s.StepAlgos)
 }
 
 // String renders the strategy compactly.
 func (s *Strategy) String() string {
-	return fmt.Sprintf("%v via %v (predicted %.3fs)", s.Matrix, s.Program, s.Predicted)
+	return fmt.Sprintf("%v via %v [%s] (predicted %.3fs)",
+		s.Matrix, s.Program, s.AlgoString(), s.Predicted)
 }
 
 // Plan is the ranked synthesis result.
@@ -213,20 +261,43 @@ func planMatrices(sys *System, req Request) ([]*Matrix, error) {
 	return Placements(sys, req.Axes)
 }
 
+// withDefaults resolves every defaulted Request field, so that
+// PlanResult.Request faithfully echoes what was planned: payload (the
+// paper's 2^29 × machines float32), program-size limit, worker pool, and
+// the algorithm set (nil Algos means {Algo}; a single entry pins Algo).
+func (req Request) withDefaults(sys *System) Request {
+	if req.Bytes <= 0 {
+		req.Bytes = cost.DefaultPayload(sys)
+	}
+	if req.MaxProgramSize <= 0 {
+		req.MaxProgramSize = synth.DefaultMaxSize
+	}
+	if req.Parallelism <= 0 {
+		req.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if len(req.Algos) == 0 {
+		req.Algos = []Algorithm{req.Algo}
+	} else if len(req.Algos) == 1 {
+		req.Algo = req.Algos[0]
+	}
+	return req
+}
+
 // Plan enumerates placements (or uses req.Matrix), synthesizes every valid
 // reduction program for each, predicts every candidate's runtime and
-// returns them ranked.
+// returns them ranked. With req.Algos naming two or more algorithms, the
+// ranking additionally searches the per-step algorithm assignment of
+// every candidate — (placement, program, per-step algorithm) jointly.
 //
 // Planning runs on the parallel memoized engine (internal/plan):
 // placements fan out over req.Parallelism workers, placements inducing
-// the same reduction hierarchy share one synthesis run, and req.TopK
-// bounds the result without materializing the full cross-product. The
-// ranking — including tie order — is identical to PlanSerial for every
-// parallelism level.
+// the same reduction hierarchy share one synthesis run, step costs are
+// memoized by (instruction, rows, algorithm), and req.TopK bounds the
+// result without materializing the full cross-product. The ranking —
+// including tie order — is identical to PlanSerial for every parallelism
+// level.
 func Plan(sys *System, req Request) (*PlanResult, error) {
-	if req.Bytes <= 0 {
-		req.Bytes = cost.PayloadBytes(sys.Levels[0].Count)
-	}
+	req = req.withDefaults(sys)
 	matrices, err := planMatrices(sys, req)
 	if err != nil {
 		return nil, err
@@ -237,6 +308,7 @@ func Plan(sys *System, req Request) (*PlanResult, error) {
 		TopK:           req.TopK,
 		MaxProgramSize: req.MaxProgramSize,
 		Collapse:       len(req.ReduceAxes) > 1,
+		Algos:          req.Algos,
 	})
 	if err != nil {
 		return nil, err
@@ -252,12 +324,19 @@ func Plan(sys *System, req Request) (*PlanResult, error) {
 	return res, nil
 }
 
-// strategyFromCandidate adopts a planner candidate as a public Strategy.
+// strategyFromCandidate adopts a planner candidate as a public Strategy,
+// canonicalizing uniform per-step assignments to the fixed algorithm they
+// name (so they render and measure exactly like a pinned run).
 func strategyFromCandidate(c *plan.Candidate, sys *System, algo Algorithm, bytes float64) *Strategy {
+	stepAlgos := c.StepAlgos
+	if a, ok := cost.UniformAlgo(stepAlgos); ok {
+		algo, stepAlgos = a, nil
+	}
 	return &Strategy{
 		Matrix:    c.Matrix,
 		Program:   c.Program,
 		Predicted: c.Predicted,
+		StepAlgos: stepAlgos,
 		lowered:   c.Lowered,
 		sys:       sys,
 		algo:      algo,
@@ -267,14 +346,14 @@ func strategyFromCandidate(c *plan.Candidate, sys *System, algo Algorithm, bytes
 
 // PlanSerial is the reference implementation of Plan: one placement at a
 // time, a fresh synthesis per placement, full materialization, stable
-// sort. It ignores req.Parallelism and req.TopK. The parallel engine is
-// required to reproduce its ranking byte for byte (see the equivalence
-// tests); it exists for exactly that cross-check and for ablation
-// benchmarks of the engine.
+// sort, and — with req.Algos set — a brute-force per-algorithm sweep over
+// every step of every program (no step-cost memo). It ignores
+// req.Parallelism and req.TopK. The parallel engine is required to
+// reproduce its ranking byte for byte (see the equivalence tests); it
+// exists for exactly that cross-check and for ablation benchmarks of the
+// engine.
 func PlanSerial(sys *System, req Request) (*PlanResult, error) {
-	if req.Bytes <= 0 {
-		req.Bytes = cost.PayloadBytes(sys.Levels[0].Count)
-	}
+	req = req.withDefaults(sys)
 	matrices, err := planMatrices(sys, req)
 	if err != nil {
 		return nil, err
@@ -293,15 +372,26 @@ func PlanSerial(sys *System, req Request) (*PlanResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			res.Strategies = append(res.Strategies, &Strategy{
-				Matrix:    m,
-				Program:   prog,
-				Predicted: model.ProgramTime(lp),
-				lowered:   lp,
-				sys:       sys,
-				algo:      req.Algo,
-				bytes:     req.Bytes,
-			})
+			s := &Strategy{
+				Matrix:  m,
+				Program: prog,
+				lowered: lp,
+				sys:     sys,
+				algo:    req.Algo,
+				bytes:   req.Bytes,
+			}
+			if len(req.Algos) > 1 {
+				stepAlgos, predicted := model.BestStepAlgos(lp, req.Algos)
+				s.Predicted = predicted
+				if a, ok := cost.UniformAlgo(stepAlgos); ok {
+					s.algo = a
+				} else {
+					s.StepAlgos = stepAlgos
+				}
+			} else {
+				s.Predicted = model.ProgramTime(lp)
+			}
+			res.Strategies = append(res.Strategies, s)
 		}
 	}
 	if len(res.Strategies) == 0 {
