@@ -414,6 +414,10 @@ func BenchmarkLower(b *testing.B) {
 	}
 }
 
+// BenchmarkCostEstimate compares the reference Model.ProgramTime against
+// the planner's reusable cost.Scorer: identical floats, but the scorer's
+// dirty-entry scratch reset and schedule memo make the scoring path
+// allocation-free (the "scorer" sub-benchmark must report 0 allocs/op).
 func BenchmarkCostEstimate(b *testing.B) {
 	m := mustMatrix(b, []int{4, 16}, []int{4, 16}, [][]int{{2, 2}, {2, 8}})
 	h := hierarchy.MustBuild(hierarchy.KindReductionAxes, m, []int{0}, hierarchy.Options{})
@@ -421,11 +425,23 @@ func BenchmarkCostEstimate(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	model := &cost.Model{Sys: topology.A100System(4), Algo: cost.Ring, Bytes: cost.PayloadBytes(4)}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		model.ProgramTime(lp)
-	}
+	sys := topology.A100System(4)
+	model := &cost.Model{Sys: sys, Algo: cost.Ring, Bytes: cost.PayloadBytes(4)}
+	b.Run("model", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			model.ProgramTime(lp)
+		}
+	})
+	b.Run("scorer", func(b *testing.B) {
+		sc := cost.NewScorer(sys)
+		sc.ProgramTime(model, lp) // warm the schedule cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sc.ProgramTime(model, lp)
+		}
+	})
 }
 
 func BenchmarkNetsimMeasure(b *testing.B) {
@@ -456,10 +472,19 @@ func benchPlanEngine(b *testing.B, sys *topology.System, axes, red []int) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	top5 := req
+	top5.TopK = 5
+	pruned, err := p2.Plan(sys, top5)
+	if err != nil {
+		b.Fatal(err)
+	}
 	printArtifact(fmt.Sprintf("Planning engine — %s axes %v", sys.Name, axes),
-		fmt.Sprintf("placements=%d synthRuns=%d memoHits=%d candidates=%d workers<=%d\n",
+		fmt.Sprintf("placements=%d synthRuns=%d memoHits=%d candidates=%d workers<=%d\n"+
+			"topk=5 pruning: prunedPlacements=%d prunedPrograms=%d boundTightenings=%d candidates=%d\n",
 			stat.Stats.Placements, stat.Stats.SynthRuns, stat.Stats.MemoHits,
-			stat.Stats.Candidates, runtime.GOMAXPROCS(0)))
+			stat.Stats.Candidates, runtime.GOMAXPROCS(0),
+			pruned.Stats.PrunedPlacements, pruned.Stats.PrunedPrograms,
+			pruned.Stats.BoundTightenings, pruned.Stats.Candidates))
 	b.Run("serial", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := p2.PlanSerial(sys, req); err != nil {
@@ -479,6 +504,15 @@ func benchPlanEngine(b *testing.B, sys *topology.System, axes, red []int) {
 		r.TopK = 8
 		for i := 0; i < b.N; i++ {
 			if _, err := p2.Plan(sys, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// parallel-top5 is the acceptance configuration: bound pruning plus
+	// early-exit scoring against the shared top-5 threshold.
+	b.Run("parallel-top5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p2.Plan(sys, top5); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"p2"
@@ -13,6 +15,7 @@ import (
 	"p2/internal/hierarchy"
 	"p2/internal/lower"
 	"p2/internal/placement"
+	"p2/internal/plan"
 	"p2/internal/synth"
 	"p2/internal/topology"
 	"p2/internal/trace"
@@ -31,6 +34,9 @@ type commonFlags struct {
 	matrix      *string
 	parallelism *int
 	topk        *int
+	bytes       *float64
+	stats       *bool
+	cpuprofile  *string
 }
 
 func newCommon(name string, out io.Writer) *commonFlags {
@@ -38,14 +44,17 @@ func newCommon(name string, out io.Writer) *commonFlags {
 	fs.SetOutput(out)
 	return &commonFlags{
 		fs:          fs,
-		sysName:     fs.String("system", "a100", "system preset: a100, v100 or fig2a"),
+		sysName:     fs.String("system", "a100", "system preset: a100, v100, fig2a, or superpod[:PxN] (P pods × N nodes, default 2x4)"),
 		nodes:       fs.Int("nodes", 4, "number of nodes (a100/v100 presets)"),
 		axes:        fs.String("axes", "", `parallelism axes, e.g. "[4 16]"`),
 		reduce:      fs.String("reduce", "[0]", `reduction axes, e.g. "[0]" or "[0 2]"`),
 		algo:        fs.String("algo", "Ring", "NCCL algorithm: Ring, Tree, HalvingDoubling, or auto to search the per-step assignment"),
 		matrix:      fs.String("matrix", "", `restrict to one matrix, e.g. "[[2 2] [2 8]]"`),
 		parallelism: fs.Int("parallelism", 0, "planner worker pool size (0 = GOMAXPROCS, 1 = sequential)"),
-		topk:        fs.Int("topk", 0, "keep only the K fastest-predicted strategies (0 = all)"),
+		topk:        fs.Int("topk", 0, "keep only the K fastest-predicted strategies (0 = all); also arms bound pruning"),
+		bytes:       fs.Float64("bytes", 0, "per-device payload in bytes (0 = paper default, 2^29 × machines float32)"),
+		stats:       fs.Bool("stats", false, "report planning-engine statistics (memoization and pruning counters)"),
+		cpuprofile:  fs.String("cpuprofile", "", "write a CPU profile of the command to this file"),
 	}
 }
 
@@ -53,10 +62,66 @@ func (c *commonFlags) system() (*topology.System, error) {
 	return buildSystem(*c.sysName, *c.nodes)
 }
 
+// profiled runs fn under the optional -cpuprofile collection.
+func (c *commonFlags) profiled(fn func() error) error {
+	if *c.cpuprofile == "" {
+		return fn()
+	}
+	f, err := os.Create(*c.cpuprofile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		return err
+	}
+	defer pprof.StopCPUProfile()
+	return fn()
+}
+
+// printStats reports the planning-engine counters when -stats is set.
+// Memoization counters are deterministic; the pruning counters depend on
+// worker timing (how early the shared threshold tightened), so they are
+// opt-in rather than part of the default (reproducible) output.
+func (c *commonFlags) printStats(out io.Writer, s plan.Stats) {
+	if !*c.stats {
+		return
+	}
+	fmt.Fprintf(out, "planning: %d placements (%d bound-pruned), %d synth runs, %d memo hits, %d candidates scored (%d pruned early, %d bound tightenings)\n",
+		s.Placements, s.PrunedPlacements, s.SynthRuns, s.MemoHits,
+		s.Candidates, s.PrunedPrograms, s.BoundTightenings)
+}
+
+// requireNoStats rejects -stats on commands that have no planning
+// statistics to report, or whose output must stay machine-parseable —
+// silently ignoring the flag would misreport that no pruning happened.
+func (c *commonFlags) requireNoStats() error {
+	if *c.stats {
+		return fmt.Errorf("-stats is not supported by %q (use synth, or trace -summary)", c.fs.Name())
+	}
+	return nil
+}
+
+// requireNoBytes rejects -bytes on commands (or command paths) whose
+// output does not depend on the payload — silently ignoring it would let
+// the user believe the numbers were computed at the requested size.
+func (c *commonFlags) requireNoBytes(path string) error {
+	if *c.bytes != 0 {
+		return fmt.Errorf("-bytes has no effect on %s", path)
+	}
+	return nil
+}
+
 // parsed resolves the shared flags. With -algo auto, algo is Ring (the
 // base) and algos carries the searched set (cost.ExtendedAlgorithms);
 // otherwise algos is nil and algo is the pinned algorithm.
 func (c *commonFlags) parsed() (axes, red []int, algo cost.Algorithm, algos []cost.Algorithm, err error) {
+	if *c.bytes < 0 {
+		// Request.Bytes treats <= 0 as "use the paper default"; letting a
+		// negative through would silently plan at ~17 GB instead of the
+		// requested size.
+		return nil, nil, 0, nil, fmt.Errorf("-bytes must be positive (got %g)", *c.bytes)
+	}
 	axes, err = placement.ParseVector(*c.axes)
 	if err != nil {
 		return nil, nil, 0, nil, err
@@ -73,7 +138,18 @@ func (c *commonFlags) parsed() (axes, red []int, algo cost.Algorithm, algos []co
 }
 
 func buildSystem(name string, nodes int) (*topology.System, error) {
-	switch strings.ToLower(name) {
+	lname := strings.ToLower(name)
+	if shape, ok := strings.CutPrefix(lname, "superpod"); ok {
+		pods, nodesPerPod := 2, 4
+		if shape != "" {
+			var err error
+			if pods, nodesPerPod, err = parseSuperPodShape(shape); err != nil {
+				return nil, err
+			}
+		}
+		return topology.SuperPodSystem(pods, nodesPerPod), nil
+	}
+	switch lname {
 	case "a100":
 		return topology.A100System(nodes), nil
 	case "v100":
@@ -81,15 +157,34 @@ func buildSystem(name string, nodes int) (*topology.System, error) {
 	case "fig2a":
 		return topology.Fig2aSystem(), nil
 	default:
-		return nil, fmt.Errorf("unknown system %q (want a100, v100 or fig2a)", name)
+		return nil, fmt.Errorf("unknown system %q (want a100, v100, fig2a or superpod[:PxN])", name)
 	}
+}
+
+// parseSuperPodShape parses the ":PxN" suffix of -system superpod:PxN.
+func parseSuperPodShape(shape string) (pods, nodesPerPod int, err error) {
+	rest, ok := strings.CutPrefix(shape, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("malformed superpod shape %q (want superpod:PxN, e.g. superpod:4x8)", shape)
+	}
+	p, n, ok := strings.Cut(rest, "x")
+	if !ok {
+		return 0, 0, fmt.Errorf("malformed superpod shape %q (want superpod:PxN, e.g. superpod:4x8)", shape)
+	}
+	if pods, err = strconv.Atoi(p); err == nil {
+		nodesPerPod, err = strconv.Atoi(n)
+	}
+	if err != nil || pods <= 0 || nodesPerPod <= 0 {
+		return 0, 0, fmt.Errorf("malformed superpod shape %q (want superpod:PxN, e.g. superpod:4x8)", shape)
+	}
+	return pods, nodesPerPod, nil
 }
 
 // planFor wraps p2.Plan with optional matrix restriction and engine
 // options from the CLI flags.
 func (c *commonFlags) planFor(sys *topology.System, axes, red []int, algo cost.Algorithm, algos []cost.Algorithm) (*p2.PlanResult, error) {
 	req := p2.Request{Axes: axes, ReduceAxes: red, Algo: algo, Algos: algos,
-		Parallelism: *c.parallelism, TopK: *c.topk}
+		Parallelism: *c.parallelism, TopK: *c.topk, Bytes: *c.bytes}
 	if *c.matrix != "" {
 		m, err := p2.ParseMatrix(sys, axes, *c.matrix)
 		if err != nil {
@@ -113,16 +208,24 @@ func cmdPlacements(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	ms, err := placement.Enumerate(sys.Hierarchy(), axes)
-	if err != nil {
+	if err := c.requireNoStats(); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "system %s %v, axes %v: %d placements (naive space: %v)\n",
-		sys.Name, sys.Hierarchy(), axes, len(ms), placement.NaivePlacementCount(axes))
-	for i, m := range ms {
-		fmt.Fprintf(out, "  %2d: %s\n", i+1, m)
+	if err := c.requireNoBytes(`"placements" (it only enumerates matrices)`); err != nil {
+		return err
 	}
-	return nil
+	return c.profiled(func() error {
+		ms, err := placement.Enumerate(sys.Hierarchy(), axes)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "system %s %v, axes %v: %d placements (naive space: %v)\n",
+			sys.Name, sys.Hierarchy(), axes, len(ms), placement.NaivePlacementCount(axes))
+		for i, m := range ms {
+			fmt.Fprintf(out, "  %2d: %s\n", i+1, m)
+		}
+		return nil
+	})
 }
 
 func cmdSynth(args []string, out io.Writer) error {
@@ -139,20 +242,23 @@ func cmdSynth(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	plan, err := c.planFor(sys, axes, red, algo, algos)
-	if err != nil {
-		return err
-	}
-	n := len(plan.Strategies)
-	fmt.Fprintf(out, "%d strategies (placement × program), fastest predicted first:\n", n)
-	if *top > 0 && *top < n {
-		n = *top
-	}
-	for i := 0; i < n; i++ {
-		s := plan.Strategies[i]
-		fmt.Fprintf(out, "  %2d: %9.3fs  %-18v %-16s %v\n", i+1, s.Predicted, s.Matrix, s.AlgoString(), s.Program)
-	}
-	return nil
+	return c.profiled(func() error {
+		plan, err := c.planFor(sys, axes, red, algo, algos)
+		if err != nil {
+			return err
+		}
+		n := len(plan.Strategies)
+		fmt.Fprintf(out, "%d strategies (placement × program), fastest predicted first:\n", n)
+		if *top > 0 && *top < n {
+			n = *top
+		}
+		for i := 0; i < n; i++ {
+			s := plan.Strategies[i]
+			fmt.Fprintf(out, "  %2d: %9.3fs  %-18v %-16s %v\n", i+1, s.Predicted, s.Matrix, s.AlgoString(), s.Program)
+		}
+		c.printStats(out, plan.Stats)
+		return nil
+	})
 }
 
 func cmdEval(args []string, out io.Writer) error {
@@ -169,23 +275,28 @@ func cmdEval(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	cfg := eval.Config{Sys: sys, Axes: axes, ReduceAxes: red, Algo: algo, Algos: algos}
-	if len(algos) > 1 {
-		// Auto mode: contrast the searched per-step assignment against
-		// the paper's pinned Ring and Tree sweeps.
-		ring, tree, auto, err := eval.RunAutoComparison(cfg)
+	if err := c.requireNoStats(); err != nil {
+		return err
+	}
+	cfg := eval.Config{Sys: sys, Axes: axes, ReduceAxes: red, Algo: algo, Algos: algos, Bytes: *c.bytes}
+	return c.profiled(func() error {
+		if len(algos) > 1 {
+			// Auto mode: contrast the searched per-step assignment against
+			// the paper's pinned Ring and Tree sweeps.
+			ring, tree, auto, err := eval.RunAutoComparison(cfg)
+			if err != nil {
+				return err
+			}
+			emit(out, eval.BuildAutoComparison(ring, tree, auto), *tsv)
+			return nil
+		}
+		r, err := eval.Run(cfg)
 		if err != nil {
 			return err
 		}
-		emit(out, eval.BuildAutoComparison(ring, tree, auto), *tsv)
+		emit(out, eval.BuildTable4([]*eval.Result{r}), *tsv)
 		return nil
-	}
-	r, err := eval.Run(cfg)
-	if err != nil {
-		return err
-	}
-	emit(out, eval.BuildTable4([]*eval.Result{r}), *tsv)
-	return nil
+	})
 }
 
 func cmdExport(args []string, out io.Writer) error {
@@ -201,16 +312,21 @@ func cmdExport(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	r, err := eval.Run(eval.Config{Sys: sys, Axes: axes, ReduceAxes: red, Algo: algo, Algos: algos})
-	if err != nil {
+	if err := c.requireNoStats(); err != nil {
 		return err
 	}
-	data, err := eval.ToJSON([]*eval.Result{r})
-	if err != nil {
+	return c.profiled(func() error {
+		r, err := eval.Run(eval.Config{Sys: sys, Axes: axes, ReduceAxes: red, Algo: algo, Algos: algos, Bytes: *c.bytes})
+		if err != nil {
+			return err
+		}
+		data, err := eval.ToJSON([]*eval.Result{r})
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(append(data, '\n'))
 		return err
-	}
-	_, err = out.Write(append(data, '\n'))
-	return err
+	})
 }
 
 func cmdHLO(args []string, out io.Writer) error {
@@ -231,37 +347,50 @@ func cmdHLO(args []string, out io.Writer) error {
 	if *c.matrix == "" {
 		return fmt.Errorf("hlo requires -matrix")
 	}
-	m, err := placement.ParseMatrix(*c.matrix, sys.Hierarchy(), axes)
-	if err != nil {
+	if err := c.requireNoStats(); err != nil {
 		return err
 	}
-	h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, red,
-		hierarchy.Options{Collapse: len(red) > 1})
-	if err != nil {
-		return err
-	}
-	var lp *lower.Program
 	if *progStr != "" {
-		prog, err := p2.ParseProgram(*progStr)
-		if err != nil {
+		// With an explicit program nothing is planned, so the payload
+		// cannot influence the emitted HLO (element count comes from
+		// -elems).
+		if err := c.requireNoBytes(`"hlo -program" (use -elems for the HLO shape)`); err != nil {
 			return err
 		}
-		if lp, err = lower.Lower(prog, h); err != nil {
-			return err
-		}
-	} else {
-		plan, err := c.planFor(sys, axes, red, algo, algos)
-		if err != nil {
-			return err
-		}
-		lp = plan.Best().Lowered()
 	}
-	src, err := xla.Emit(lp, *elems)
-	if err != nil {
+	return c.profiled(func() error {
+		m, err := placement.ParseMatrix(*c.matrix, sys.Hierarchy(), axes)
+		if err != nil {
+			return err
+		}
+		h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, red,
+			hierarchy.Options{Collapse: len(red) > 1})
+		if err != nil {
+			return err
+		}
+		var lp *lower.Program
+		if *progStr != "" {
+			prog, err := p2.ParseProgram(*progStr)
+			if err != nil {
+				return err
+			}
+			if lp, err = lower.Lower(prog, h); err != nil {
+				return err
+			}
+		} else {
+			plan, err := c.planFor(sys, axes, red, algo, algos)
+			if err != nil {
+				return err
+			}
+			lp = plan.Best().Lowered()
+		}
+		src, err := xla.Emit(lp, *elems)
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(out, src)
 		return err
-	}
-	_, err = io.WriteString(out, src)
-	return err
+	})
 }
 
 func cmdVerify(args []string, out io.Writer) error {
@@ -278,47 +407,55 @@ func cmdVerify(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	var matrices []*placement.Matrix
-	if *c.matrix != "" {
-		m, err := placement.ParseMatrix(*c.matrix, sys.Hierarchy(), axes)
-		if err != nil {
-			return err
-		}
-		matrices = []*placement.Matrix{m}
-	} else if matrices, err = placement.Enumerate(sys.Hierarchy(), axes); err != nil {
+	if err := c.requireNoStats(); err != nil {
 		return err
 	}
-	total := 0
-	for _, m := range matrices {
-		h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, red,
-			hierarchy.Options{Collapse: len(red) > 1})
-		if err != nil {
-			return err
-		}
-		var progs []p2.Program
-		if *progStr != "" {
-			prog, err := p2.ParseProgram(*progStr)
+	if err := c.requireNoBytes(`"verify" (it executes on small concrete data)`); err != nil {
+		return err
+	}
+	return c.profiled(func() error {
+		var matrices []*placement.Matrix
+		if *c.matrix != "" {
+			m, err := placement.ParseMatrix(*c.matrix, sys.Hierarchy(), axes)
 			if err != nil {
 				return err
 			}
-			progs = []p2.Program{prog}
-		} else {
-			progs = synth.Synthesize(h, synth.Options{}).Programs
+			matrices = []*placement.Matrix{m}
+		} else if matrices, err = placement.Enumerate(sys.Hierarchy(), axes); err != nil {
+			return err
 		}
-		for _, prog := range progs {
-			lp, err := lower.Lower(prog, h)
+		total := 0
+		for _, m := range matrices {
+			h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, red,
+				hierarchy.Options{Collapse: len(red) > 1})
 			if err != nil {
-				return fmt.Errorf("matrix %v program %v: %w", m, prog, err)
+				return err
 			}
-			if err := verify.Check(lp, m, red, 2); err != nil {
-				return fmt.Errorf("matrix %v program %v: %w", m, prog, err)
+			var progs []p2.Program
+			if *progStr != "" {
+				prog, err := p2.ParseProgram(*progStr)
+				if err != nil {
+					return err
+				}
+				progs = []p2.Program{prog}
+			} else {
+				progs = synth.Synthesize(h, synth.Options{}).Programs
 			}
-			total++
+			for _, prog := range progs {
+				lp, err := lower.Lower(prog, h)
+				if err != nil {
+					return fmt.Errorf("matrix %v program %v: %w", m, prog, err)
+				}
+				if err := verify.Check(lp, m, red, 2); err != nil {
+					return fmt.Errorf("matrix %v program %v: %w", m, prog, err)
+				}
+				total++
+			}
+			fmt.Fprintf(out, "matrix %v: %d programs verified on concrete data\n", m, len(progs))
 		}
-		fmt.Fprintf(out, "matrix %v: %d programs verified on concrete data\n", m, len(progs))
-	}
-	fmt.Fprintf(out, "OK: %d lowered programs compute exact reduction sums\n", total)
-	return nil
+		fmt.Fprintf(out, "OK: %d lowered programs compute exact reduction sums\n", total)
+		return nil
+	})
 }
 
 func cmdTrace(args []string, out io.Writer) error {
@@ -337,51 +474,59 @@ func cmdTrace(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	plan, err := c.planFor(sys, axes, red, algo, algos)
-	if err != nil {
-		return err
+	if *c.stats && !*summary {
+		// The JSON output must stay parseable; only the summary form has
+		// room for the stats line.
+		return fmt.Errorf("-stats requires -summary for trace")
 	}
-	strat := plan.Best()
-	if *progStr != "" {
-		prog, err := p2.ParseProgram(*progStr)
+	return c.profiled(func() error {
+		plan, err := c.planFor(sys, axes, red, algo, algos)
 		if err != nil {
 			return err
 		}
-		found := false
-		for _, s := range plan.Strategies {
-			if s.Program.String() == prog.String() && (*c.matrix == "" || s.Matrix.String() == strat.Matrix.String()) {
-				strat, found = s, true
-				break
+		strat := plan.Best()
+		if *progStr != "" {
+			prog, err := p2.ParseProgram(*progStr)
+			if err != nil {
+				return err
+			}
+			found := false
+			for _, s := range plan.Strategies {
+				if s.Program.String() == prog.String() && (*c.matrix == "" || s.Matrix.String() == strat.Matrix.String()) {
+					strat, found = s, true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("program %q was not synthesized for this request", *progStr)
 			}
 		}
-		if !found {
-			return fmt.Errorf("program %q was not synthesized for this request", *progStr)
+		// Trace through the strategy so the request's (defaulted) payload and
+		// any per-step algorithm assignment are honored.
+		col := &trace.Collector{}
+		total, events := strat.Trace()
+		col.Events = events
+		if *summary {
+			fmt.Fprintf(out, "strategy: %v via %v [%s]\n", strat.Matrix, strat.Program, strat.AlgoString())
+			fmt.Fprintf(out, "emulated total: %.4f s, %d transfers\n", total, len(col.Events))
+			for _, s := range col.Summarize() {
+				fmt.Fprintf(out, "  step %d %-14s %5d transfers %10.1f MB  [%.4f, %.4f] s\n",
+					s.Step, s.Op, s.Transfers, s.Bytes/1e6, s.Start, s.End)
+			}
+			c.printStats(out, plan.Stats)
+			return nil
 		}
-	}
-	// Trace through the strategy so the request's (defaulted) payload and
-	// any per-step algorithm assignment are honored.
-	col := &trace.Collector{}
-	total, events := strat.Trace()
-	col.Events = events
-	if *summary {
-		fmt.Fprintf(out, "strategy: %v via %v [%s]\n", strat.Matrix, strat.Program, strat.AlgoString())
-		fmt.Fprintf(out, "emulated total: %.4f s, %d transfers\n", total, len(col.Events))
-		for _, s := range col.Summarize() {
-			fmt.Fprintf(out, "  step %d %-14s %5d transfers %10.1f MB  [%.4f, %.4f] s\n",
-				s.Step, s.Op, s.Transfers, s.Bytes/1e6, s.Start, s.End)
+		w := out
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
 		}
-		return nil
-	}
-	w := out
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
-	}
-	return col.WriteChrome(w, sys)
+		return col.WriteChrome(w, sys)
+	})
 }
 
 func cmdTables(args []string, out io.Writer) error {
@@ -391,7 +536,19 @@ func cmdTables(args []string, out io.Writer) error {
 	if err := c.fs.Parse(args); err != nil {
 		return err
 	}
-	switch *table {
+	if err := c.requireNoStats(); err != nil {
+		return err
+	}
+	if err := c.requireNoBytes(`"tables" (paper tables use the paper's payload)`); err != nil {
+		return err
+	}
+	return c.profiled(func() error {
+		return runTables(c, out, *table, *tsv)
+	})
+}
+
+func runTables(c *commonFlags, out io.Writer, table string, tsv bool) error {
+	switch table {
 	case "3":
 		sys, err := c.system()
 		if err != nil {
@@ -407,7 +564,7 @@ func cmdTables(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		emit(out, t, *tsv)
+		emit(out, t, tsv)
 	case "4":
 		sys, err := c.system()
 		if err != nil {
@@ -418,7 +575,7 @@ func cmdTables(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		emit(out, eval.BuildTable4(rs), *tsv)
+		emit(out, eval.BuildTable4(rs), tsv)
 	case "appendix":
 		var all []*eval.Result
 		for _, s := range eval.PaperSuites() {
@@ -428,9 +585,9 @@ func cmdTables(args []string, out io.Writer) error {
 			}
 			all = append(all, rs...)
 		}
-		emit(out, eval.BuildAppendix(all), *tsv)
+		emit(out, eval.BuildAppendix(all), tsv)
 	default:
-		return fmt.Errorf("unknown table %q", *table)
+		return fmt.Errorf("unknown table %q", table)
 	}
 	return nil
 }

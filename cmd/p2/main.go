@@ -7,6 +7,7 @@
 //
 //	p2 placements -system a100 -nodes 4 -axes "[4 16]"
 //	p2 synth      -system a100 -nodes 4 -axes "[4 16]" -reduce "[0]" [-matrix "[[2 2] [2 8]]"] [-algo auto]
+//	p2 synth      -system superpod:4x8 -axes "[16 16]" -reduce "[0]" -topk 5 -stats [-bytes 1e9] [-cpuprofile plan.prof]
 //	p2 eval       -system a100 -nodes 4 -axes "[4 16]" -reduce "[0]" -algo Ring
 //	p2 eval       -system a100 -nodes 4 -axes "[4 16]" -reduce "[0]" -algo auto   # search NCCL_ALGO per step
 //	p2 export     -system a100 -nodes 4 -axes "[4 16]" -reduce "[0]" -algo Ring   # JSON

@@ -156,6 +156,82 @@ func TestPlanJointParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestPlanPrunedMatchesSerial is the determinism contract of the
+// bound-pruned engine: at every parallelism level × TopK × algorithm
+// search mode, the pruned ranking must be byte-identical to the
+// corresponding prefix of the serial brute-force ranking — assignments,
+// predictions and tie order. TopK=0 exercises the serial-identical
+// fallback (no threshold exists, nothing may be pruned).
+func TestPlanPrunedMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		sys   *p2.System
+		axes  []int
+		red   []int
+		algos []p2.Algorithm
+	}{
+		{"a100-4-auto", p2.A100System(4), []int{4, 16}, []int{0}, p2.ExtendedAlgorithms},
+		{"superpod-2x4-auto", p2.SuperPodSystem(2, 4), []int{8, 8}, []int{0}, p2.ExtendedAlgorithms},
+		{"a100-4-multi-axis", p2.A100System(4), []int{16, 2, 2}, []int{0, 2}, nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			serial, err := p2.PlanSerial(tc.sys, p2.Request{Axes: tc.axes, ReduceAxes: tc.red, Algos: tc.algos})
+			if err != nil {
+				t.Fatal(err)
+			}
+			full := planFingerprint(serial)
+			for _, k := range []int{0, 1, 5} {
+				for _, par := range []int{1, 4, 16} {
+					got, err := p2.Plan(tc.sys, p2.Request{Axes: tc.axes, ReduceAxes: tc.red,
+						Algos: tc.algos, TopK: k, Parallelism: par})
+					if err != nil {
+						t.Fatal(err)
+					}
+					wantLen := len(serial.Strategies)
+					if k > 0 && k < wantLen {
+						wantLen = k
+					}
+					if len(got.Strategies) != wantLen {
+						t.Fatalf("TopK=%d parallelism=%d: %d strategies, want %d",
+							k, par, len(got.Strategies), wantLen)
+					}
+					want := planFingerprint(&p2.PlanResult{Strategies: serial.Strategies[:wantLen]})
+					if g := planFingerprint(got); g != want {
+						t.Errorf("TopK=%d parallelism=%d: pruned ranking differs from serial prefix:\ngot:\n%swant:\n%s",
+							k, par, g, want)
+					}
+					if k == 0 && (got.Stats.PrunedPlacements != 0 || got.Stats.PrunedPrograms != 0) {
+						t.Errorf("TopK=0 pruned work: %+v", got.Stats)
+					}
+					if k > 0 && got.Stats.Placements != serial.Stats.Placements {
+						t.Errorf("TopK=%d parallelism=%d: streamed %d placements, want %d",
+							k, par, got.Stats.Placements, serial.Stats.Placements)
+					}
+				}
+			}
+			if full == "" {
+				t.Fatal("empty serial ranking")
+			}
+		})
+	}
+}
+
+// TestPlanPrunedStatsConsistent: every streamed placement is either
+// synthesized, served from the memo, or bound-pruned.
+func TestPlanPrunedStatsConsistent(t *testing.T) {
+	res, err := p2.Plan(p2.SuperPodSystem(4, 8), p2.Request{Axes: []int{16, 16}, ReduceAxes: []int{0}, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.SynthRuns+s.MemoHits+s.PrunedPlacements != s.Placements {
+		t.Errorf("placement accounting broken: %+v", s)
+	}
+	if s.PrunedPlacements == 0 && s.PrunedPrograms == 0 {
+		t.Errorf("no pruning on SuperPod(4,8) TopK=5: %+v", s)
+	}
+}
+
 // TestPlanMemoizedStats asserts the engine actually reuses synthesis
 // across placements that share a reduction hierarchy.
 func TestPlanMemoizedStats(t *testing.T) {

@@ -1,0 +1,300 @@
+package cost
+
+import (
+	"fmt"
+
+	"p2/internal/collective"
+	"p2/internal/lower"
+	"p2/internal/topology"
+)
+
+// Scorer is a reusable step-cost evaluator producing bit-identical floats
+// to Model.StepTime with zero allocations on the scoring path. It is the
+// planning engine's per-worker workhorse: planning scores thousands of
+// steps and the per-step `make([]float64, entities)` plus the schedule
+// expansion slices dominated the allocation profile.
+//
+// Two mechanisms replace the allocations:
+//
+//   - The per-uplink traffic array is scratch owned by the Scorer. Instead
+//     of reallocating (or zeroing the whole array) per step, the Scorer
+//     records which entries a step touched and resets exactly those during
+//     the final max-scan (dirty-entry reset).
+//   - Schedule expansions are memoized. Ring, chain and halving-doubling
+//     schedules depend only on (op, algorithm, group size, per-device
+//     bytes) — their edges are cached in group-index space and mapped
+//     through the concrete group on replay. Tree schedules depend on the
+//     members' hardware entities, so they are expanded per group, but into
+//     reusable partition scratch.
+//
+// The accumulation order — groups in step order, edges in schedule order,
+// the same level-descent per edge — matches Model.StepTime exactly, so
+// every float (and therefore every ranking) is unchanged.
+//
+// A Scorer is bound to one System and is not safe for concurrent use; give
+// each worker its own.
+type Scorer struct {
+	sys *topology.System
+
+	traffic []float64
+	dirty   []int
+
+	sched map[schedKey][]relEdge
+
+	// Tree-expansion scratch: parts are reused member buckets, partOf maps
+	// a span-level entity id to its bucket for the current expansion, and
+	// partGen marks which entries of partOf are live (avoiding a clear per
+	// expansion).
+	parts   [][]int
+	partOf  []int
+	partGen []uint64
+	gen     uint64
+
+	// Per-step accumulators, reset by StepTimeAlgo.
+	maxLat float64
+}
+
+// relEdge is one schedule edge in group-index space: endpoints are indices
+// into the group slice, bytes the transfer size.
+type relEdge struct {
+	a, b  int
+	bytes float64
+}
+
+// schedKind distinguishes the structural (group-independent) schedules.
+type schedKind uint8
+
+const (
+	schedRing schedKind = iota
+	schedChain
+	schedHD
+)
+
+// schedKey identifies one cached structural schedule.
+type schedKey struct {
+	kind  schedKind
+	n     int
+	bytes float64
+}
+
+// NewScorer returns a Scorer for sys.
+func NewScorer(sys *topology.System) *Scorer {
+	offsets := sys.EntityOffsets()
+	return &Scorer{
+		sys:     sys,
+		traffic: make([]float64, offsets[sys.NumLevels()]),
+		sched:   map[schedKey][]relEdge{},
+		partOf:  make([]int, sys.NumDevices()),
+		partGen: make([]uint64, sys.NumDevices()),
+	}
+}
+
+// Sys returns the system the scorer is bound to.
+func (s *Scorer) Sys() *topology.System { return s.sys }
+
+// StepTime predicts the duration of one lowered step under m, exactly as
+// m.StepTime would. m.Sys must be the scorer's system.
+func (s *Scorer) StepTime(m *Model, st lower.Step) float64 {
+	return s.StepTimeAlgo(m, st, m.Algo)
+}
+
+// StepTimeAlgo is StepTime under an explicit algorithm, the allocation-free
+// equivalent of Model.StepTimeAlgo.
+func (s *Scorer) StepTimeAlgo(m *Model, st lower.Step, algo Algorithm) float64 {
+	if m.Sys != s.sys {
+		panic(fmt.Sprintf("cost: Scorer for %q used with model for %q", s.sys.Name, m.Sys.Name))
+	}
+	perDevice := st.FracIn() * m.Bytes
+	s.maxLat = 0
+	s.dirty = s.dirty[:0]
+	maxRounds := 0
+	for _, g := range st.Groups {
+		if rounds := s.addGroup(st.Op, algo, g, perDevice); rounds > maxRounds {
+			maxRounds = rounds
+		}
+	}
+	worst := 0.0
+	offsets := s.sys.EntityOffsets()
+	L := s.sys.NumLevels()
+	for _, i := range s.dirty {
+		l := 0
+		for l+1 < L && i >= offsets[l+1] {
+			l++
+		}
+		if t := s.traffic[i] / s.sys.Uplinks[l].Bandwidth; t > worst {
+			worst = t
+		}
+		s.traffic[i] = 0
+	}
+	return worst + float64(maxRounds)*s.maxLat
+}
+
+// ProgramTime sums the step times of a lowered program, exactly as
+// m.ProgramTime would.
+func (s *Scorer) ProgramTime(m *Model, p *lower.Program) float64 {
+	total := 0.0
+	for _, st := range p.Steps {
+		total += s.StepTime(m, st)
+	}
+	return total
+}
+
+// addGroup accumulates one group's schedule into the traffic scratch and
+// returns its pipeline round count. The dispatch mirrors Model.schedule,
+// including the byte arithmetic, expression for expression.
+func (s *Scorer) addGroup(op collective.Op, algo Algorithm, g []int, perDevice float64) int {
+	n := len(g)
+	switch op {
+	case collective.AllReduce:
+		if algo == Tree {
+			s.addTree(g, 2*perDevice)
+			return 2 * logRounds(n)
+		}
+		if algo == HalvingDoubling && isPow2(n) {
+			s.addRel(g, s.structural(schedHD, n, perDevice))
+			return 2 * logRounds(n)
+		}
+		s.addRel(g, s.structural(schedRing, n, 2*float64(n-1)/float64(n)*perDevice))
+		return 2 * (n - 1)
+	case collective.ReduceScatter:
+		s.addRel(g, s.structural(schedRing, n, float64(n-1)/float64(n)*perDevice))
+		return n - 1
+	case collective.AllGather:
+		s.addRel(g, s.structural(schedRing, n, float64(n-1)*perDevice))
+		return n - 1
+	case collective.Reduce:
+		if algo != Ring {
+			s.addTree(g, perDevice)
+			return logRounds(n)
+		}
+		s.addRel(g, s.structural(schedChain, n, perDevice))
+		return n - 1
+	case collective.Broadcast:
+		if algo != Ring {
+			s.addTree(g, perDevice)
+			return logRounds(n)
+		}
+		s.addRel(g, s.structural(schedChain, n, perDevice))
+		return n - 1
+	default:
+		panic(fmt.Sprintf("cost: unknown op %v", op))
+	}
+}
+
+// structural returns the cached group-index-space edges of a ring, chain
+// or halving-doubling schedule, expanding and caching on first use. The
+// edge order matches ringEdges/chainEdges/hdEdges.
+func (s *Scorer) structural(kind schedKind, n int, bytes float64) []relEdge {
+	key := schedKey{kind: kind, n: n, bytes: bytes}
+	if edges, ok := s.sched[key]; ok {
+		return edges
+	}
+	var edges []relEdge
+	switch kind {
+	case schedRing:
+		edges = make([]relEdge, 0, n)
+		for i := 0; i < n; i++ {
+			edges = append(edges, relEdge{i, (i + 1) % n, bytes})
+		}
+	case schedChain:
+		edges = make([]relEdge, 0, n-1)
+		for i := 1; i < n; i++ {
+			edges = append(edges, relEdge{i - 1, i, bytes})
+		}
+	case schedHD:
+		// Mirrors hdEdges: bytes here is the per-device payload.
+		for r := 0; 1<<r < n; r++ {
+			eb := 2 * bytes / float64(int(2)<<r)
+			for i := 0; i < n; i++ {
+				j := i ^ (1 << r)
+				if j > i {
+					edges = append(edges, relEdge{i, j, eb}, relEdge{j, i, eb})
+				}
+			}
+		}
+	}
+	s.sched[key] = edges
+	return edges
+}
+
+// addRel replays cached relative edges over the concrete group.
+func (s *Scorer) addRel(g []int, edges []relEdge) {
+	for _, e := range edges {
+		s.addEdge(g[e.a], g[e.b], e.bytes)
+	}
+}
+
+// addTree accumulates the hierarchical tree schedule over g, reproducing
+// TreeLinks' edge order (binary tree across partition heads in
+// first-occurrence order, then chains within partitions) without its
+// allocations.
+func (s *Scorer) addTree(g []int, bytes float64) {
+	span := s.sys.GroupSpanLevel(g)
+	if span < 0 {
+		return
+	}
+	s.gen++
+	np := 0
+	for _, d := range g {
+		e := s.sys.EntityID(d, span)
+		if s.partGen[e] != s.gen {
+			s.partGen[e] = s.gen
+			if np == len(s.parts) {
+				s.parts = append(s.parts, nil)
+			}
+			s.parts[np] = s.parts[np][:0]
+			s.partOf[e] = np
+			np++
+		}
+		pi := s.partOf[e]
+		s.parts[pi] = append(s.parts[pi], d)
+	}
+	for i := 1; i < np; i++ {
+		s.addEdge(s.parts[(i-1)/2][0], s.parts[i][0], bytes)
+	}
+	for i := 0; i < np; i++ {
+		p := s.parts[i]
+		for j := 1; j < len(p); j++ {
+			s.addEdge(p[j-1], p[j], bytes)
+		}
+	}
+}
+
+// addEdge routes one transfer through the uplinks it traverses — the body
+// of Model.StepTime's accumulation loop, accumulating into the dirty-
+// tracked scratch instead of a fresh slice.
+func (s *Scorer) addEdge(a, b int, bytes float64) {
+	ldiv := s.sys.DivergenceLevel(a, b)
+	if ldiv < 0 {
+		return
+	}
+	if lat := s.sys.Uplinks[ldiv].Latency; lat > s.maxLat {
+		s.maxLat = lat
+	}
+	offsets := s.sys.EntityOffsets()
+	rad := s.sys.Radix()
+	L := s.sys.NumLevels()
+	ida := s.sys.EntityID(a, ldiv)
+	idb := s.sys.EntityID(b, ldiv)
+	for l := ldiv; ; {
+		s.bump(offsets[l]+ida, bytes)
+		s.bump(offsets[l]+idb, bytes)
+		if l++; l >= L {
+			break
+		}
+		ida = ida*s.sys.Levels[l].Count + rad.Digit(a, l)
+		idb = idb*s.sys.Levels[l].Count + rad.Digit(b, l)
+	}
+}
+
+// bump adds bytes to one traffic entry, recording the first touch for the
+// dirty-entry reset. Entries only ever accumulate non-negative transfer
+// sizes, so a touched entry is nonzero unless every contribution was zero
+// — in which case leaving it off the dirty list is harmless (it is already
+// zero for the next step).
+func (s *Scorer) bump(i int, bytes float64) {
+	if s.traffic[i] == 0 {
+		s.dirty = append(s.dirty, i)
+	}
+	s.traffic[i] += bytes
+}

@@ -1,0 +1,132 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"p2/internal/hierarchy"
+	"p2/internal/lower"
+	"p2/internal/placement"
+	"p2/internal/synth"
+	"p2/internal/topology"
+)
+
+// scorerCases lowers every synthesized program of a few representative
+// requests, covering all ops, replicas, collapse and deep hierarchies.
+func scorerCases(t *testing.T) []struct {
+	sys *topology.System
+	lp  *lower.Program
+} {
+	t.Helper()
+	var out []struct {
+		sys *topology.System
+		lp  *lower.Program
+	}
+	reqs := []struct {
+		sys  *topology.System
+		axes []int
+		red  []int
+	}{
+		{topology.Fig2aSystem(), []int{4, 4}, []int{0}},
+		{topology.A100System(2), []int{4, 8}, []int{0}},
+		{topology.V100System(2), []int{4, 4}, []int{1}},
+		{topology.SuperPodSystem(2, 4), []int{8, 8}, []int{0}},
+	}
+	for _, rq := range reqs {
+		matrices, err := placement.Enumerate(rq.sys.Hierarchy(), rq.axes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range matrices {
+			h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, rq.red, hierarchy.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, prog := range synth.Synthesize(h, synth.Options{}).Programs {
+				lp, err := lower.Lower(prog, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out = append(out, struct {
+					sys *topology.System
+					lp  *lower.Program
+				}{rq.sys, lp})
+			}
+		}
+	}
+	return out
+}
+
+// TestScorerMatchesModel: the scorer must reproduce Model.StepTimeAlgo bit
+// for bit across every op, algorithm and system — including across calls,
+// which exercises the dirty-entry scratch reset.
+func TestScorerMatchesModel(t *testing.T) {
+	scorers := map[*topology.System]*Scorer{}
+	for _, tc := range scorerCases(t) {
+		sc, ok := scorers[tc.sys]
+		if !ok {
+			sc = NewScorer(tc.sys)
+			scorers[tc.sys] = sc
+		}
+		model := &Model{Sys: tc.sys, Algo: Ring, Bytes: DefaultPayload(tc.sys)}
+		for _, algo := range ExtendedAlgorithms {
+			for si, st := range tc.lp.Steps {
+				want := model.StepTimeAlgo(st, algo)
+				got := sc.StepTimeAlgo(model, st, algo)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("%s %v step %d algo %v: scorer %v (%016x), model %v (%016x)",
+						tc.sys.Name, tc.lp, si, algo,
+						got, math.Float64bits(got), want, math.Float64bits(want))
+				}
+			}
+			// Whole-program sums must agree too (same order of additions).
+			mm := *model
+			mm.Algo = algo
+			want := mm.ProgramTime(tc.lp)
+			if got := sc.ProgramTime(&mm, tc.lp); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%s %v algo %v: ProgramTime %v != %v", tc.sys.Name, tc.lp, algo, got, want)
+			}
+		}
+	}
+}
+
+// TestScorerZeroAlloc: after warm-up (schedule cache populated), scoring
+// must not allocate.
+func TestScorerZeroAlloc(t *testing.T) {
+	sys := topology.SuperPodSystem(2, 4)
+	m, err := placement.ParseMatrix("[[1 2 4] [2 2 2]]", sys.Hierarchy(), []int{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, []int{0}, hierarchy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := lower.Lower(synth.BaselineAllReduce(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := &Model{Sys: sys, Algo: Ring, Bytes: DefaultPayload(sys)}
+	sc := NewScorer(sys)
+	for _, algo := range ExtendedAlgorithms {
+		sc.ProgramTime(&Model{Sys: sys, Algo: algo, Bytes: model.Bytes}, lp) // warm the caches
+	}
+	for _, algo := range ExtendedAlgorithms {
+		mm := &Model{Sys: sys, Algo: algo, Bytes: model.Bytes}
+		if allocs := testing.AllocsPerRun(20, func() { sc.ProgramTime(mm, lp) }); allocs != 0 {
+			t.Errorf("algo %v: %v allocs/op on the scoring path, want 0", algo, allocs)
+		}
+	}
+}
+
+// TestScorerRejectsForeignSystem: using a scorer with another system's
+// model is a programming error and must panic rather than corrupt scratch.
+func TestScorerRejectsForeignSystem(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for foreign system")
+		}
+	}()
+	sc := NewScorer(topology.A100System(2))
+	sc.StepTime(&Model{Sys: topology.V100System(2), Algo: Ring, Bytes: 1}, lower.Step{})
+}

@@ -12,6 +12,7 @@ package lower
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"p2/internal/collective"
@@ -62,49 +63,90 @@ type Program struct {
 // the universe semantics to annotate every step with its chunk counts, so
 // it fails with the same error a semantic check would.
 func Lower(p dsl.Program, h *hierarchy.Hierarchy) (*Program, error) {
-	ctx := dsl.NewContext(h)
-	reps := h.Replicas()
-	out := &Program{
-		NumDevices: h.K() * reps,
-		K:          h.K(),
-		Source:     p.Clone(),
+	s := Start(p, h)
+	for !s.Done() {
+		if _, err := s.Next(); err != nil {
+			return nil, err
+		}
 	}
-	for i, in := range p {
-		leafGroups := in.Groups(h)
-		rows := ctx[leafGroups[0][0]].NumRows()
-		next, err := ctx.Apply(in, h)
-		if err != nil {
-			return nil, fmt.Errorf("lower: step %d: %w", i, err)
-		}
-		var rowsOut int
-		switch in.Op {
-		case collective.Reduce:
-			rowsOut = next[leafGroups[0][0]].NumRows() // root keeps the rows
-		default:
-			rowsOut = next[leafGroups[0][len(leafGroups[0])-1]].NumRows()
-		}
-		phys := make([][]int, 0, len(leafGroups)*reps)
-		for r := 0; r < reps; r++ {
-			for _, g := range leafGroups {
-				pg := make([]int, len(g))
-				for gi, u := range g {
-					pg[gi] = h.Leaves[u][r]
-				}
-				phys = append(phys, pg)
-			}
-		}
-		sortGroupsByFirst(phys)
-		out.Steps = append(out.Steps, Step{
-			Op:      in.Op,
-			Groups:  phys,
-			Rows:    rows,
-			RowsOut: rowsOut,
-			K:       h.K(),
-		})
-		ctx = next
-	}
-	return out, nil
+	return s.Program(), nil
 }
+
+// Stepper lowers a program one step at a time, so a consumer scoring the
+// steps as they appear can abandon the program — and the remaining
+// universe-semantics work — as soon as its partial cost disqualifies it
+// (the planning engine's early-exit pruning). Lower is Start + draining
+// Next, so a drained Stepper is byte-identical to Lower.
+type Stepper struct {
+	h   *hierarchy.Hierarchy
+	src dsl.Program
+	ctx dsl.Context
+	out *Program
+	i   int
+}
+
+// Start begins lowering p against h.
+func Start(p dsl.Program, h *hierarchy.Hierarchy) *Stepper {
+	return &Stepper{
+		h:   h,
+		src: p,
+		ctx: dsl.NewContext(h),
+		out: &Program{
+			NumDevices: h.K() * h.Replicas(),
+			K:          h.K(),
+			Source:     p.Clone(),
+		},
+	}
+}
+
+// Done reports whether every step has been lowered.
+func (s *Stepper) Done() bool { return s.i >= len(s.src) }
+
+// Next lowers the next step, failing with the same error a full Lower
+// would. Calling Next past the end panics.
+func (s *Stepper) Next() (Step, error) {
+	h, in, i := s.h, s.src[s.i], s.i
+	reps := h.Replicas()
+	leafGroups := in.Groups(h)
+	rows := s.ctx[leafGroups[0][0]].NumRows()
+	next, err := s.ctx.Apply(in, h)
+	if err != nil {
+		return Step{}, fmt.Errorf("lower: step %d: %w", i, err)
+	}
+	var rowsOut int
+	switch in.Op {
+	case collective.Reduce:
+		rowsOut = next[leafGroups[0][0]].NumRows() // root keeps the rows
+	default:
+		rowsOut = next[leafGroups[0][len(leafGroups[0])-1]].NumRows()
+	}
+	phys := make([][]int, 0, len(leafGroups)*reps)
+	for r := 0; r < reps; r++ {
+		for _, g := range leafGroups {
+			pg := make([]int, len(g))
+			for gi, u := range g {
+				pg[gi] = h.Leaves[u][r]
+			}
+			phys = append(phys, pg)
+		}
+	}
+	sortGroupsByFirst(phys)
+	st := Step{
+		Op:      in.Op,
+		Groups:  phys,
+		Rows:    rows,
+		RowsOut: rowsOut,
+		K:       h.K(),
+	}
+	s.out.Steps = append(s.out.Steps, st)
+	s.ctx = next
+	s.i++
+	return st, nil
+}
+
+// Program returns the lowered program accumulated so far; it is complete
+// once Done reports true.
+func (s *Stepper) Program() *Program { return s.out }
 
 // Key returns a canonical fingerprint of the lowered step sequence — the
 // (G1,C1)...(Gn,Cn) form used to compare expressiveness of synthesis
@@ -179,7 +221,17 @@ func (p *Program) Validate() error {
 	return nil
 }
 
+// sortGroupsByFirst orders a step's groups by their first device. Groups
+// are disjoint, so first devices are distinct and the order is unique —
+// insertion sort, sort.Slice and a stable sort all agree. Large steps
+// (hundreds of two-device groups on deep systems) made the quadratic
+// insertion sort the planning profile's hottest frame, so they take the
+// O(n log n) path.
 func sortGroupsByFirst(groups [][]int) {
+	if len(groups) > 16 {
+		sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+		return
+	}
 	for i := 1; i < len(groups); i++ {
 		for j := i; j > 0 && groups[j-1][0] > groups[j][0]; j-- {
 			groups[j-1], groups[j] = groups[j], groups[j-1]

@@ -7,18 +7,22 @@ import (
 	"p2/internal/factor"
 )
 
-// Enumerate returns every parallelism matrix for the given hierarchy and
-// axes, in a canonical order (lexicographic over the column-major factor
-// sequence). It returns an error if the axis product does not equal the
+// Iterate streams every parallelism matrix for the given hierarchy and
+// axes to yield, in the same canonical order Enumerate returns them
+// (lexicographic over the column-major factor sequence). Matrices are
+// produced one at a time as the enumeration DFS reaches them, so a
+// consumer that stops early — yield returning false aborts the walk —
+// or one that feeds a worker pool never holds the whole placement set in
+// memory. It returns an error if the axis product does not equal the
 // device count, in which case no placement exists.
-func Enumerate(hier, axes []int) ([]*Matrix, error) {
+func Iterate(hier, axes []int, yield func(*Matrix) bool) error {
 	if factor.Product(hier) != factor.Product(axes) {
-		return nil, fmt.Errorf("placement: axes product %d != device count %d",
+		return fmt.Errorf("placement: axes product %d != device count %d",
 			factor.Product(axes), factor.Product(hier))
 	}
 	m, n := len(axes), len(hier)
 	if m == 0 || n == 0 {
-		return nil, fmt.Errorf("placement: empty axes or hierarchy")
+		return fmt.Errorf("placement: empty axes or hierarchy")
 	}
 
 	// DFS column by column. rem[i] is the part of axis i not yet assigned
@@ -26,7 +30,6 @@ func Enumerate(hier, axes []int) ([]*Matrix, error) {
 	// feasible only if f[i] divides rem[i].
 	rem := append([]int(nil), axes...)
 	cols := make([][]int, n) // cols[j] = chosen factors for column j
-	var out []*Matrix
 
 	// Precompute the suffix products of the hierarchy for pruning: after
 	// assigning columns [0..j), axis i must satisfy rem[i] | suffix[j]
@@ -42,12 +45,12 @@ func Enumerate(hier, axes []int) ([]*Matrix, error) {
 		return factor.OrderedFactorizations(hier[j], m)
 	}
 
-	var rec func(j int)
-	rec = func(j int) {
+	var rec func(j int) bool
+	rec = func(j int) bool {
 		if j == n {
 			for i := range rem {
 				if rem[i] != 1 {
-					return
+					return true
 				}
 			}
 			x := make([][]int, m)
@@ -61,8 +64,7 @@ func Enumerate(hier, axes []int) ([]*Matrix, error) {
 			if err != nil {
 				panic(err) // construction invariant violated
 			}
-			out = append(out, mat)
-			return
+			return yield(mat)
 		}
 		for _, f := range colChoices(j) {
 			ok := true
@@ -85,27 +87,51 @@ func Enumerate(hier, axes []int) ([]*Matrix, error) {
 					break
 				}
 			}
+			more := true
 			if feasible {
 				cols[j] = f
-				rec(j + 1)
+				more = rec(j + 1)
 			}
 			for i := 0; i < m; i++ {
 				rem[i] *= f[i]
 			}
+			if !more {
+				return false
+			}
 		}
+		return true
 	}
 	rec(0)
+	return nil
+}
+
+// Enumerate returns every parallelism matrix for the given hierarchy and
+// axes, in a canonical order (lexicographic over the column-major factor
+// sequence). It materializes the full set; use Iterate to stream matrices
+// instead. It returns an error if the axis product does not equal the
+// device count, in which case no placement exists.
+func Enumerate(hier, axes []int) ([]*Matrix, error) {
+	var out []*Matrix
+	if err := Iterate(hier, axes, func(m *Matrix) bool {
+		out = append(out, m)
+		return true
+	}); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
 // Count returns the number of parallelism matrices without materializing
 // them.
 func Count(hier, axes []int) int {
-	ms, err := Enumerate(hier, axes)
-	if err != nil {
+	n := 0
+	if err := Iterate(hier, axes, func(*Matrix) bool {
+		n++
+		return true
+	}); err != nil {
 		return 0
 	}
-	return len(ms)
+	return n
 }
 
 // NaivePlacementCount returns the number of arbitrary device assignments

@@ -1,0 +1,73 @@
+package placement
+
+import "testing"
+
+// TestIterateMatchesEnumerate: the streaming producer must yield exactly
+// the matrices Enumerate materializes, in the same canonical order.
+func TestIterateMatchesEnumerate(t *testing.T) {
+	cases := []struct{ hier, axes []int }{
+		{[]int{4, 16}, []int{4, 16}},
+		{[]int{4, 16}, []int{16, 2, 2}},
+		{[]int{1, 2, 2, 4}, []int{4, 4}},
+		{[]int{4, 8, 8}, []int{16, 16}},
+	}
+	for _, tc := range cases {
+		want, err := Enumerate(tc.hier, tc.axes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []*Matrix
+		if err := Iterate(tc.hier, tc.axes, func(m *Matrix) bool {
+			got = append(got, m)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("hier %v axes %v: Iterate yielded %d matrices, Enumerate %d",
+				tc.hier, tc.axes, len(got), len(want))
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Errorf("hier %v axes %v: matrix %d differs: %v vs %v",
+					tc.hier, tc.axes, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestIterateEarlyStop: yield returning false aborts the DFS immediately.
+func TestIterateEarlyStop(t *testing.T) {
+	full, err := Enumerate([]int{4, 16}, []int{16, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) < 3 {
+		t.Fatalf("need at least 3 matrices, got %d", len(full))
+	}
+	seen := 0
+	if err := Iterate([]int{4, 16}, []int{16, 2, 2}, func(m *Matrix) bool {
+		seen++
+		return seen < 2
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 2 {
+		t.Errorf("early stop after 2 yields saw %d", seen)
+	}
+}
+
+// TestIterateError: validation failures surface before any yield.
+func TestIterateError(t *testing.T) {
+	called := false
+	err := Iterate([]int{4, 4}, []int{3, 5}, func(*Matrix) bool {
+		called = true
+		return true
+	})
+	if err == nil {
+		t.Fatal("expected product-mismatch error")
+	}
+	if called {
+		t.Error("yield called despite invalid axes")
+	}
+}

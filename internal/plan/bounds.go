@@ -1,0 +1,118 @@
+package plan
+
+import (
+	"p2/internal/hierarchy"
+	"p2/internal/topology"
+)
+
+// boundSafety scales the analytic lower bound down by one part in 10⁹.
+// The bound is mathematically admissible (see below), but it is computed
+// as a closed-form product while the cost model accumulates the same
+// traffic as a float sum in schedule order; the margin absorbs the ulp
+// rounding differences so that bound ≤ predicted holds bitwise, not just
+// in exact arithmetic. It costs a vanishing amount of pruning power.
+const boundSafety = 1 - 1e-9
+
+// placementBound returns an admissible lower bound on Model.ProgramTime of
+// EVERY valid reduction program for the placement inducing hierarchy h,
+// under every algorithm (Ring, Tree and HalvingDoubling schedules alike):
+// the cheapest conceivable step schedule for the hierarchy's reduction
+// structure on this system. Placements whose bound already exceeds the
+// shared top-K threshold are skipped before synthesis or lowering runs.
+//
+// The bound has a bandwidth and a latency component, each a simultaneous
+// lower bound on the corresponding summand of every step's predicted time
+// (StepTime = worst-link transfer + rounds × latency), so their sum lower
+// bounds the program total.
+//
+// Bandwidth: fix a hardware entity E at level l. Every physical reduction
+// group (a universe group replicated per non-reduction coordinate) that
+// has members both inside and outside E must move, over the whole program,
+// at least 2 bytes-per-device across E's uplink — each of the K chunk rows
+// carries Bytes/K, the combined outside contribution of a row must enter E
+// at least once (inside members end with the full sum) and the combined
+// inside contribution must leave at least once (outside members do too),
+// and intra-E transfers are never charged to E's uplink by the model. The
+// model's per-step worst-link time is ≥ that step's traffic through E's
+// uplink / bandwidth, so summing over steps:
+//
+//	Σ_steps worst_s ≥ 2·Bytes·splitGroups(E) / bandwidth(l)
+//
+// for every entity E; the bound takes the best (max) entity.
+//
+// Latency: let l* be the root-most level any reduction group spans. Data
+// of a group spanning l* must cross between two level-l* entities, so some
+// step contains an edge diverging at a level ≤ l*; that step pays at least
+// one round of that uplink's latency, so Σ_steps rounds_s·lat_s ≥ the
+// minimum uplink latency over levels ≤ l*.
+//
+// The bound is exactly tight (up to rounding) for the hierarchical
+// ReduceScatter/AllReduce/AllGather strategy on two-level systems, which
+// is what makes it useful: placements whose best program is far from the
+// incumbent top-K are provably outside it without synthesizing anything.
+func placementBound(sys *topology.System, h *hierarchy.Hierarchy, bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	L := sys.NumLevels()
+	offsets := sys.EntityOffsets()
+	splits := make([]int, offsets[L])
+	crossed := L // root-most level any group spans (L = none)
+
+	reps := h.Replicas()
+	var ents []int // scratch: distinct entity ids of one group at one level
+	for u, grp := range h.Groups {
+		if len(grp) < 2 || grp[0] != u {
+			// Singleton groups need no communication; non-minimal members
+			// repeat their group's minimal leaf.
+			continue
+		}
+		for r := 0; r < reps; r++ {
+			for l := 0; l < L; l++ {
+				ents = ents[:0]
+				for _, v := range grp {
+					e := sys.EntityID(h.Leaves[v][r], l)
+					known := false
+					for _, x := range ents {
+						if x == e {
+							known = true
+							break
+						}
+					}
+					if !known {
+						ents = append(ents, e)
+					}
+				}
+				if len(ents) < 2 {
+					continue
+				}
+				if l < crossed {
+					crossed = l
+				}
+				for _, e := range ents {
+					splits[offsets[l]+e]++
+				}
+			}
+		}
+	}
+
+	worst := 0.0
+	for l := 0; l < L; l++ {
+		bw := sys.Uplinks[l].Bandwidth
+		for _, n := range splits[offsets[l]:offsets[l+1]] {
+			if t := 2 * bytes * float64(n) / bw; t > worst {
+				worst = t
+			}
+		}
+	}
+	lat := 0.0
+	if crossed < L {
+		lat = sys.Uplinks[crossed].Latency
+		for l := 0; l < crossed; l++ {
+			if sys.Uplinks[l].Latency < lat {
+				lat = sys.Uplinks[l].Latency
+			}
+		}
+	}
+	return (worst + lat) * boundSafety
+}

@@ -1,0 +1,127 @@
+package plan
+
+import (
+	"testing"
+
+	"p2/internal/cost"
+	"p2/internal/hierarchy"
+	"p2/internal/lower"
+	"p2/internal/placement"
+	"p2/internal/synth"
+	"p2/internal/topology"
+)
+
+// TestPlacementBoundAdmissible is the property the pruning correctness
+// proof rests on: for every placement, the lower bound must never exceed
+// the true predicted cost of ANY valid program under ANY algorithm in the
+// extended set. A violation could silently evict a legitimate top-K
+// candidate.
+func TestPlacementBoundAdmissible(t *testing.T) {
+	cases := []struct {
+		sys  *topology.System
+		axes []int
+		red  []int
+	}{
+		{topology.Fig2aSystem(), []int{4, 4}, []int{0}},
+		{topology.Fig2aSystem(), []int{2, 2, 4}, []int{0, 2}},
+		{topology.A100System(2), []int{4, 8}, []int{0}},
+		{topology.A100System(4), []int{16, 2, 2}, []int{0, 2}},
+		{topology.V100System(2), []int{4, 4}, []int{1}},
+		{topology.SuperPodSystem(2, 4), []int{8, 8}, []int{0}},
+	}
+	for _, tc := range cases {
+		matrices, err := placement.Enumerate(tc.sys.Hierarchy(), tc.axes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bytes := cost.DefaultPayload(tc.sys)
+		for _, m := range matrices {
+			h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, tc.red,
+				hierarchy.Options{Collapse: len(tc.red) > 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := placementBound(tc.sys, h, bytes)
+			if bound < 0 {
+				t.Fatalf("%s %v: negative bound %v", tc.sys.Name, m, bound)
+			}
+			for _, prog := range synth.Synthesize(h, synth.Options{}).Programs {
+				lp, err := lower.Lower(prog, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, algo := range cost.ExtendedAlgorithms {
+					model := &cost.Model{Sys: tc.sys, Algo: algo, Bytes: bytes}
+					if predicted := model.ProgramTime(lp); bound > predicted {
+						t.Errorf("%s matrix %v program %v algo %v: bound %v exceeds predicted %v",
+							tc.sys.Name, m, prog, algo, bound, predicted)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlacementBoundTightOnHierarchicalStrategy pins the bound's teeth:
+// on the canonical two-level A100 placement the bound must reach a good
+// fraction of the best program's cost — a vacuous bound (say, 0) would
+// pass admissibility while pruning nothing.
+func TestPlacementBoundTightOnHierarchicalStrategy(t *testing.T) {
+	sys := topology.A100System(2)
+	matrices, err := placement.Enumerate(sys.Hierarchy(), []int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytes := cost.DefaultPayload(sys)
+	model := &cost.Model{Sys: sys, Algo: cost.Ring, Bytes: bytes}
+	for _, m := range matrices {
+		h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, []int{0}, hierarchy.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := placementBound(sys, h, bytes)
+		best := 0.0
+		for _, prog := range synth.Synthesize(h, synth.Options{}).Programs {
+			lp, err := lower.Lower(prog, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pt := model.ProgramTime(lp); best == 0 || pt < best {
+				best = pt
+			}
+		}
+		if bound < best/4 {
+			t.Errorf("matrix %v: bound %v is <25%% of best program %v — too loose to prune", m, bound, best)
+		}
+	}
+}
+
+// TestMemoCap: a capped planner must return identical results while
+// keeping the memo bounded (extra signatures synthesize uncached).
+func TestMemoCap(t *testing.T) {
+	sys := topology.SuperPodSystem(2, 4)
+	matrices, err := placement.Enumerate(sys.Hierarchy(), []int{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := &cost.Model{Sys: sys, Algo: cost.Ring, Bytes: cost.DefaultPayload(sys)}
+	free, freeStats, err := New().Run(matrices, []int{0}, model, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped := New(WithMemoCap(1))
+	got, cappedStats, err := capped.Run(matrices, []int{0}, model, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rankString(got) != rankString(free) {
+		t.Error("memo cap changed the ranking")
+	}
+	if n := len(capped.memo); n > 1 {
+		t.Errorf("memo holds %d entries, cap was 1", n)
+	}
+	if cappedStats.SynthRuns <= freeStats.SynthRuns {
+		t.Errorf("capped planner synthesized %d times, uncapped %d — cap had no effect",
+			cappedStats.SynthRuns, freeStats.SynthRuns)
+	}
+}

@@ -1,21 +1,32 @@
-// Package plan is the parallel, memoized planning engine behind p2.Plan
-// and p2.PlanJoint. It fans placement matrices out over a bounded worker
-// pool, memoizes program synthesis by the canonical hierarchy signature
-// (placements inducing the same reduction hierarchy share one synthesis
-// run), and optionally keeps only the top-K cheapest candidates per
-// worker in a bounded heap instead of materializing the full
-// (placement × program) cross-product.
+// Package plan is the parallel, memoized, bound-pruned planning engine
+// behind p2.Plan and p2.PlanJoint. Placement matrices stream from the
+// enumeration DFS straight into a bounded worker pool (no materialized
+// placement set), program synthesis is memoized by the canonical hierarchy
+// signature (placements inducing the same reduction hierarchy share one
+// synthesis run), and with TopK set the engine prunes provably hopeless
+// work: an admissible per-placement lower bound (bounds.go) skips
+// synthesis and lowering for placements that cannot enter the incumbent
+// top-K, and per-program scoring aborts — mid-lowering — once a partial
+// step-cost sum exceeds the shared threshold.
 //
 // The engine is deterministic: its output is byte-identical to the serial
 // reference path (enumerate placements in order, synthesize, rank with a
 // stable sort). Candidates are totally ordered by (Predicted, MatrixIdx,
 // ProgIdx), which coincides with what a stable sort by Predicted produces
 // over the serial append order, so parallel execution — with any worker
-// count — and top-K truncation cannot reorder ties.
+// count — and top-K truncation cannot reorder ties. Pruning preserves the
+// guarantee because it only ever discards candidates that are strictly
+// dominated: a candidate (or whole placement) is dropped only when its
+// lower bound exceeds — strictly — a threshold that K already-scored
+// candidates are at or below, so the dropped candidate loses every Less
+// comparison that matters regardless of tie-breaking. With TopK=0 no
+// threshold exists and the engine scores the full cross-product, exactly
+// like the serial path.
 package plan
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -27,6 +38,7 @@ import (
 	"p2/internal/lower"
 	"p2/internal/placement"
 	"p2/internal/synth"
+	"p2/internal/topology"
 )
 
 // Options tune one planning run.
@@ -35,7 +47,9 @@ type Options struct {
 	// matrices sequentially (still memoized).
 	Parallelism int
 	// TopK, when positive, keeps only the K cheapest candidates. The
-	// result is exactly the first K entries of the full ranking.
+	// result is exactly the first K entries of the full ranking. TopK also
+	// arms the pruning machinery (placement lower bounds, early-exit
+	// scoring); 0 keeps the serial-identical full materialization.
 	TopK int
 	// MaxProgramSize limits synthesized program length (0 = synth default).
 	MaxProgramSize int
@@ -50,18 +64,12 @@ type Options struct {
 	Algos []cost.Algorithm
 }
 
-func (o Options) workers(n int) int {
-	w := o.Parallelism
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
+// workers resolves the worker-pool size.
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
 	}
-	if w > n {
-		w = n
-	}
-	if w < 1 {
-		w = 1
-	}
-	return w
+	return runtime.GOMAXPROCS(0)
 }
 
 // Candidate is one (placement, program) pair with its predicted runtime
@@ -94,36 +102,79 @@ func Less(a, b *Candidate) bool {
 	return a.ProgIdx < b.ProgIdx
 }
 
-// Stats reports how much work a run performed and how much the signature
-// memo saved.
+// Stats reports how much work a run performed, how much the signature
+// memo saved, and how much the bound pruning skipped.
 type Stats struct {
-	// Placements is the number of matrices planned.
+	// Placements is the number of matrices streamed into the run.
 	Placements int
 	// SynthRuns counts actual synthesis executions.
 	SynthRuns int
 	// MemoHits counts placements served from the signature memo.
 	MemoHits int
-	// Candidates counts (placement, program) pairs scored — the planning
-	// effort, before any top-K truncation.
+	// Candidates counts (placement, program) pairs scored to completion —
+	// the planning effort, before any top-K truncation.
 	Candidates int
+	// PrunedPlacements counts placements cut by the admissible bounds: in
+	// single-reduction runs always before any synthesis, lowering or
+	// scoring; in joint runs either up front (summed per-reduction bounds
+	// above the threshold) or partway through the reductions, once the
+	// finished reductions' exact totals plus the remaining reductions'
+	// bounds already exceed it.
+	PrunedPlacements int
+	// PrunedPrograms counts programs whose scoring aborted early: the
+	// partial step-cost sum (or, for joint runs, the incumbent
+	// per-reduction best) proved the program cannot be kept.
+	PrunedPrograms int
+	// BoundTightenings counts successful tightenings of the shared
+	// threshold (each one makes subsequent pruning more aggressive).
+	BoundTightenings int
 }
 
 // Planner runs planning requests, sharing a synthesis memo across the
 // placements and reductions of each run. Reusing one Planner also shares
-// the memo across successive runs (p2.Plan constructs a fresh Planner
-// per call, so its memo spans exactly one request; the memo is unbounded,
-// so long-lived reuse trades memory for synthesis time). A Planner is
-// safe for concurrent use.
+// the memo across successive runs (p2.Plan constructs a fresh Planner per
+// call, so its memo spans exactly one request). The memo is unbounded by
+// default — every distinct (hierarchy signature, program-size limit) pair
+// stays resident forever, which a long-lived Planner serving many
+// differently-shaped requests may not want; cap it with WithMemoCap. A
+// Planner is safe for concurrent use.
 type Planner struct {
-	mu   sync.Mutex
-	memo map[memoKey]*memoEntry
+	mu      sync.Mutex
+	memo    map[memoKey]*memoEntry
+	memoCap int
 }
 
-// runCounters tallies one run's memo effectiveness and scoring effort.
+// Option configures a Planner.
+type Option func(*Planner)
+
+// WithMemoCap bounds the synthesis memo to at most n entries. Once full,
+// further signatures synthesize without being recorded (correct, just not
+// shared), so memory stays bounded while results are unchanged. n <= 0
+// means unbounded (the default).
+func WithMemoCap(n int) Option {
+	return func(p *Planner) { p.memoCap = n }
+}
+
+// runCounters tallies one run's memo effectiveness, scoring effort and
+// pruning wins.
 type runCounters struct {
-	synthRuns atomic.Int64
-	memoHits  atomic.Int64
-	scored    atomic.Int64
+	synthRuns        atomic.Int64
+	memoHits         atomic.Int64
+	scored           atomic.Int64
+	prunedPlacements atomic.Int64
+	prunedPrograms   atomic.Int64
+}
+
+func (rc *runCounters) stats(placements int, thr *threshold) Stats {
+	return Stats{
+		Placements:       placements,
+		SynthRuns:        int(rc.synthRuns.Load()),
+		MemoHits:         int(rc.memoHits.Load()),
+		Candidates:       int(rc.scored.Load()),
+		PrunedPlacements: int(rc.prunedPlacements.Load()),
+		PrunedPrograms:   int(rc.prunedPrograms.Load()),
+		BoundTightenings: int(thr.tightenings.Load()),
+	}
 }
 
 type memoKey struct {
@@ -137,19 +188,28 @@ type memoEntry struct {
 }
 
 // New returns an empty Planner.
-func New() *Planner {
-	return &Planner{memo: map[memoKey]*memoEntry{}}
+func New(opts ...Option) *Planner {
+	p := &Planner{memo: map[memoKey]*memoEntry{}}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
 }
 
 // synthesize returns the program set for h, running synthesis at most
 // once per (hierarchy signature, maxSize) and serving repeats from the
 // memo, reporting whether the result came from the memo. Concurrent
 // callers with the same signature block on the single synthesis instead
-// of duplicating it.
+// of duplicating it. When the memo cap is reached, unseen signatures
+// synthesize without being recorded.
 func (p *Planner) synthesize(h *hierarchy.Hierarchy, maxSize int) (*synth.Result, bool) {
 	key := memoKey{sig: h.Signature(), maxSize: maxSize}
 	p.mu.Lock()
 	ent, hit := p.memo[key]
+	if !hit && p.memoCap > 0 && len(p.memo) >= p.memoCap {
+		p.mu.Unlock()
+		return synth.Synthesize(h, synth.Options{MaxSize: maxSize}), false
+	}
 	if !hit {
 		ent = &memoEntry{}
 		p.memo[key] = ent
@@ -159,6 +219,59 @@ func (p *Planner) synthesize(h *hierarchy.Hierarchy, maxSize int) (*synth.Result
 		ent.res = synth.Synthesize(h, synth.Options{MaxSize: maxSize})
 	})
 	return ent.res, hit
+}
+
+// threshold is the shared, atomically tightening upper bound on the K-th
+// best predicted value kept anywhere in the run. Every worker whose local
+// top-K heap is full publishes its worst kept value; since those K kept
+// candidates exist globally, the global K-th best is at most the
+// published value, so anything provably above the threshold — strictly —
+// cannot reach the final top-K no matter how ties break. It starts at
+// +Inf (prune nothing) until some worker has K candidates.
+type threshold struct {
+	bits        atomic.Uint64
+	tightenings atomic.Int64
+}
+
+func newThreshold() *threshold {
+	t := &threshold{}
+	t.bits.Store(math.Float64bits(math.Inf(1)))
+	return t
+}
+
+func (t *threshold) load() float64 { return math.Float64frombits(t.bits.Load()) }
+
+// tighten lowers the threshold to v if v is smaller (atomic min).
+func (t *threshold) tighten(v float64) {
+	nb := math.Float64bits(v)
+	for {
+		old := t.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if t.bits.CompareAndSwap(old, nb) {
+			t.tightenings.Add(1)
+			return
+		}
+	}
+}
+
+// workerState is per-worker scratch: reusable zero-alloc scorers, one per
+// distinct system seen (a run almost always has exactly one).
+type workerState struct {
+	scorers map[*topology.System]*cost.Scorer
+}
+
+func (ws *workerState) scorer(sys *topology.System) *cost.Scorer {
+	if sc, ok := ws.scorers[sys]; ok {
+		return sc
+	}
+	if ws.scorers == nil {
+		ws.scorers = map[*topology.System]*cost.Scorer{}
+	}
+	sc := cost.NewScorer(sys)
+	ws.scorers[sys] = sc
+	return sc
 }
 
 // stepKey identifies a lowered step up to cost equivalence within one
@@ -178,26 +291,102 @@ type stepChoice struct {
 	time float64
 }
 
-// PlanMatrix synthesizes, lowers and scores every program for one
-// placement. Programs appear in synthesis order (size, then lexicographic
-// — the same order the serial path appends them in).
-//
-// Scoring memoizes step costs by (instruction, rows, algo): programs
-// sharing a prefix — or merely an instruction at the same payload
-// fraction — share the StepTime evaluations, which dominate serial
-// planning at scale. With Options.Algos enabling the per-step search, the
-// per-step choice additionally shares the scan over the algorithm set.
-// The per-program sum runs over the same values in the same order as
-// cost.Model.BestStepAlgos (resp. ProgramTime), so predictions are
-// bit-identical to the serial brute-force path.
-func (p *Planner) PlanMatrix(mi int, m *placement.Matrix, reduceAxes []int, model *cost.Model, opts Options) ([]*Candidate, error) {
-	return p.planMatrix(mi, m, reduceAxes, model, opts, &runCounters{})
+// matrixScorer scores the programs of one placement, memoizing step costs
+// by (instruction, rows, algo) so that programs sharing a prefix — or
+// merely an instruction at the same payload fraction — share the StepTime
+// evaluations, which dominate serial planning at scale.
+type matrixScorer struct {
+	sc        *cost.Scorer
+	model     *cost.Model
+	fixedAlgo cost.Algorithm
+	algos     []cost.Algorithm // nil unless searching
+	stepCost  map[stepKey]float64
+	choices   map[stepKey]stepChoice
 }
 
-func (p *Planner) planMatrix(mi int, m *placement.Matrix, reduceAxes []int, model *cost.Model, opts Options, rc *runCounters) ([]*Candidate, error) {
-	h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, reduceAxes, hierarchy.Options{Collapse: opts.Collapse})
+func newMatrixScorer(ws *workerState, model *cost.Model, opts Options) *matrixScorer {
+	ms := &matrixScorer{
+		sc:        ws.scorer(model.Sys),
+		model:     model,
+		fixedAlgo: model.Algo,
+		stepCost:  map[stepKey]float64{},
+	}
+	if len(opts.Algos) == 1 {
+		ms.fixedAlgo = opts.Algos[0]
+	}
+	if len(opts.Algos) > 1 {
+		ms.algos = opts.Algos
+		ms.choices = map[stepKey]stepChoice{}
+	}
+	return ms
+}
+
+func (ms *matrixScorer) costOf(in dsl.Instruction, st lower.Step, a cost.Algorithm) float64 {
+	key := stepKey{in: in, rows: st.Rows, algo: a}
+	c, ok := ms.stepCost[key]
+	if !ok {
+		c = ms.sc.StepTimeAlgo(ms.model, st, a)
+		ms.stepCost[key] = c
+	}
+	return c
+}
+
+// stepTime returns one step's predicted time — the fixed algorithm's, or
+// the memoized per-step argmin over the searched set (ties to the
+// earliest entry, matching cost.Model.BestStepAlgos).
+func (ms *matrixScorer) stepTime(in dsl.Instruction, st lower.Step) stepChoice {
+	if ms.algos == nil {
+		return stepChoice{algo: ms.fixedAlgo, time: ms.costOf(in, st, ms.fixedAlgo)}
+	}
+	ck := stepKey{in: in, rows: st.Rows}
+	ch, ok := ms.choices[ck]
+	if !ok {
+		ch = stepChoice{algo: ms.algos[0], time: ms.costOf(in, st, ms.algos[0])}
+		for _, a := range ms.algos[1:] {
+			if t := ms.costOf(in, st, a); t < ch.time {
+				ch = stepChoice{algo: a, time: t}
+			}
+		}
+		ms.choices[ck] = ch
+	}
+	return ch
+}
+
+// PlanMatrix synthesizes, lowers and scores every program for one
+// placement. Programs appear in synthesis order (size, then lexicographic
+// — the same order the serial path appends them in). The per-program sum
+// runs over the same values in the same order as cost.Model.BestStepAlgos
+// (resp. ProgramTime), so predictions are bit-identical to the serial
+// brute-force path.
+func (p *Planner) PlanMatrix(mi int, m *placement.Matrix, reduceAxes []int, model *cost.Model, opts Options) ([]*Candidate, error) {
+	var out []*Candidate
+	err := p.planMatrix(&workerState{}, mi, m, reduceAxes, model, opts, &runCounters{}, newThreshold(),
+		func(c *Candidate) { out = append(out, c) })
 	if err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// planMatrix is PlanMatrix against shared worker scratch, counters and the
+// run's pruning threshold, emitting each completed candidate as soon as it
+// is scored (the caller's sink pushes it into the worker heap, which can
+// tighten the shared threshold mid-placement). With TopK armed it may skip
+// the placement entirely (admissible bound above the threshold) and
+// abandons individual programs mid-lowering once their partial cost sum
+// exceeds the threshold. Neither cut can remove a final top-K member: the
+// bound never exceeds any program's true cost, partial sums never exceed
+// the total (step costs are non-negative), and both cuts require strictly
+// exceeding a value that K scored candidates already meet.
+func (p *Planner) planMatrix(ws *workerState, mi int, m *placement.Matrix, reduceAxes []int, model *cost.Model, opts Options, rc *runCounters, thr *threshold, emit func(*Candidate)) error {
+	h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, reduceAxes, hierarchy.Options{Collapse: opts.Collapse})
+	if err != nil {
+		return err
+	}
+	prune := opts.TopK > 0
+	if prune && placementBound(model.Sys, h, model.Bytes) > thr.load() {
+		rc.prunedPlacements.Add(1)
+		return nil
 	}
 	res, hit := p.synthesize(h, opts.MaxProgramSize)
 	if hit {
@@ -205,82 +394,100 @@ func (p *Planner) planMatrix(mi int, m *placement.Matrix, reduceAxes []int, mode
 	} else {
 		rc.synthRuns.Add(1)
 	}
-	fixedAlgo := model.Algo
-	if len(opts.Algos) == 1 {
-		fixedAlgo = opts.Algos[0]
-	}
-	search := len(opts.Algos) > 1
-	stepCost := map[stepKey]float64{}
-	costOf := func(in dsl.Instruction, st lower.Step, a cost.Algorithm) float64 {
-		key := stepKey{in: in, rows: st.Rows, algo: a}
-		c, ok := stepCost[key]
-		if !ok {
-			c = model.StepTimeAlgo(st, a)
-			stepCost[key] = c
-		}
-		return c
-	}
-	// choices memoizes the per-step search winner so programs sharing an
-	// instruction at the same payload fraction also share the argmin scan.
-	choices := map[stepKey]stepChoice{}
-	out := make([]*Candidate, 0, len(res.Programs))
+	ms := newMatrixScorer(ws, model, opts)
+	scored := 0
 	for pi, prog := range res.Programs {
-		lp, err := lower.Lower(prog, h)
+		// Early exit: the remaining steps can only add cost, so a partial
+		// sum strictly above the threshold already loses to K kept
+		// candidates — stop lowering and scoring this program.
+		c, err := ms.scoreProgram(mi, pi, m, h, prog, func(partial float64) bool {
+			return prune && partial > thr.load()
+		})
+		if err != nil {
+			return err
+		}
+		if c == nil {
+			rc.prunedPrograms.Add(1)
+			continue
+		}
+		scored++
+		emit(c)
+	}
+	rc.scored.Add(int64(scored))
+	return nil
+}
+
+// scoreProgram lowers one program step by step, accumulating its
+// predicted time (and per-step algorithm assignment when searching) in
+// exactly the serial order, and abandons it — skipping the remaining
+// lowering work — as soon as cutoff reports the partial sum disqualifies
+// it (nil, nil is returned). The caller's cutoff must only ever cut
+// programs whose final value provably cannot matter: partial sums never
+// exceed the final value because step costs are non-negative.
+func (ms *matrixScorer) scoreProgram(mi, pi int, m *placement.Matrix, h *hierarchy.Hierarchy, prog dsl.Program, cutoff func(partial float64) bool) (*Candidate, error) {
+	low := lower.Start(prog, h)
+	predicted := 0.0
+	var stepAlgos []cost.Algorithm
+	if ms.algos != nil {
+		stepAlgos = make([]cost.Algorithm, len(prog))
+	}
+	for si := 0; !low.Done(); si++ {
+		st, err := low.Next()
 		if err != nil {
 			return nil, err
 		}
-		predicted := 0.0
-		var stepAlgos []cost.Algorithm
-		if search {
-			stepAlgos = make([]cost.Algorithm, len(lp.Steps))
-		}
-		for si, st := range lp.Steps {
-			if !search {
-				predicted += costOf(prog[si], st, fixedAlgo)
-				continue
-			}
-			ck := stepKey{in: prog[si], rows: st.Rows}
-			ch, ok := choices[ck]
-			if !ok {
-				ch = stepChoice{algo: opts.Algos[0], time: costOf(prog[si], st, opts.Algos[0])}
-				for _, a := range opts.Algos[1:] {
-					if t := costOf(prog[si], st, a); t < ch.time {
-						ch = stepChoice{algo: a, time: t}
-					}
-				}
-				choices[ck] = ch
-			}
+		ch := ms.stepTime(prog[si], st)
+		if stepAlgos != nil {
 			stepAlgos[si] = ch.algo
-			predicted += ch.time
 		}
-		out = append(out, &Candidate{
-			MatrixIdx: mi,
-			ProgIdx:   pi,
-			Matrix:    m,
-			Program:   prog,
-			Lowered:   lp,
-			Predicted: predicted,
-			StepAlgos: stepAlgos,
-		})
+		predicted += ch.time
+		if cutoff(predicted) {
+			return nil, nil
+		}
 	}
-	rc.scored.Add(int64(len(out)))
-	return out, nil
+	return &Candidate{
+		MatrixIdx: mi,
+		ProgIdx:   pi,
+		Matrix:    m,
+		Program:   prog,
+		Lowered:   low.Program(),
+		Predicted: predicted,
+		StepAlgos: stepAlgos,
+	}, nil
 }
 
 // Run ranks every (matrix, program) candidate for one reduction request,
 // fanning the matrices out over the worker pool. The returned slice is
 // sorted by Less and truncated to TopK when set.
 func (p *Planner) Run(matrices []*placement.Matrix, reduceAxes []int, model *cost.Model, opts Options) ([]*Candidate, Stats, error) {
-	var rc runCounters
-	perWorker, err := fanOut(opts, len(matrices), func(mi int) ([]*Candidate, error) {
-		return p.planMatrix(mi, matrices[mi], reduceAxes, model, opts, &rc)
-	}, Less)
-	stats := Stats{
-		Placements: len(matrices),
-		SynthRuns:  int(rc.synthRuns.Load()),
-		MemoHits:   int(rc.memoHits.Load()),
-		Candidates: int(rc.scored.Load()),
+	return p.RunStream(sliceStream(matrices), reduceAxes, model, opts)
+}
+
+// sliceStream adapts a materialized placement set to the streaming
+// producer interface.
+func sliceStream(matrices []*placement.Matrix) func(func(*placement.Matrix) bool) error {
+	return func(yield func(*placement.Matrix) bool) error {
+		for _, m := range matrices {
+			if !yield(m) {
+				return nil
+			}
+		}
+		return nil
 	}
+}
+
+// RunStream is Run over a placement producer instead of a materialized
+// slice: stream (typically placement.Iterate) yields matrices in canonical
+// enumeration order and the engine feeds them to the worker pool as they
+// appear, so the full placement set never resides in memory. The ranking
+// is identical to Run over the materialized equivalent.
+func (p *Planner) RunStream(stream func(func(*placement.Matrix) bool) error, reduceAxes []int, model *cost.Model, opts Options) ([]*Candidate, Stats, error) {
+	var rc runCounters
+	thr := newThreshold()
+	perWorker, produced, err := fanOut(opts, stream, func(ws *workerState, mi int, m *placement.Matrix, emit func(*Candidate)) error {
+		return p.planMatrix(ws, mi, m, reduceAxes, model, opts, &rc, thr, emit)
+	}, Less, func(c *Candidate) float64 { return c.Predicted }, thr)
+	stats := rc.stats(produced, thr)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -304,6 +511,25 @@ type JointSpec struct {
 	// (see Options.Algos); each reduction of a joint request may search
 	// its own set.
 	Algos []cost.Algorithm
+}
+
+// weight resolves the defaulted occurrence count.
+func (s JointSpec) weight() float64 {
+	if s.Weight <= 0 {
+		return 1
+	}
+	return s.Weight
+}
+
+// options projects the run options onto one reduction.
+func (s JointSpec) options(opts Options) Options {
+	ropts := opts
+	ropts.Collapse = s.Collapse
+	ropts.Algos = s.Algos
+	if s.MaxProgramSize > 0 {
+		ropts.MaxProgramSize = s.MaxProgramSize
+	}
+	return ropts
 }
 
 // JointCandidate is the joint outcome for one placement: the best
@@ -336,99 +562,243 @@ func (e *ErrNoPrograms) Error() string {
 	return fmt.Sprintf("plan: no valid programs for reduction axes %v on matrix %v", e.ReduceAxes, e.Matrix)
 }
 
+// bestForReduction returns the Less-minimal candidate of one reduction
+// under one placement without materializing the rest. Scoring a program
+// aborts — mid-lowering — as soon as its partial cost reaches the
+// incumbent best's total: the abandoned program's final cost can only be
+// ≥ the partial, and at equality it still loses the (MatrixIdx, ProgIdx)
+// tie-break to the earlier incumbent, so the argmin is exact. This cut
+// needs no threshold and is always on.
+func (p *Planner) bestForReduction(ws *workerState, mi int, m *placement.Matrix, h *hierarchy.Hierarchy, spec JointSpec, opts Options, rc *runCounters) (*Candidate, error) {
+	res, hit := p.synthesize(h, opts.MaxProgramSize)
+	if hit {
+		rc.memoHits.Add(1)
+	} else {
+		rc.synthRuns.Add(1)
+	}
+	ms := newMatrixScorer(ws, spec.Model, opts)
+	var best *Candidate
+	scored := 0
+	for pi, prog := range res.Programs {
+		c, err := ms.scoreProgram(mi, pi, m, h, prog, func(partial float64) bool {
+			return best != nil && partial >= best.Predicted
+		})
+		if err != nil {
+			return nil, err
+		}
+		if c == nil {
+			rc.prunedPrograms.Add(1)
+			continue
+		}
+		scored++
+		if best == nil || Less(c, best) {
+			best = c
+		}
+	}
+	rc.scored.Add(int64(scored))
+	if best == nil && len(res.Programs) > 0 {
+		// Unreachable: the first program is never pruned (no incumbent).
+		return nil, &ErrNoPrograms{ReduceAxes: spec.ReduceAxes, Matrix: m}
+	}
+	return best, nil
+}
+
 // RunJoint scores every placement against all reductions jointly,
 // fanning placements out over the worker pool. Synthesis is memoized
-// across both placements and reductions. The result is sorted by
-// (Total, MatrixIdx) and truncated to TopK placements when set.
+// across both placements and reductions; with TopK set, placements whose
+// summed per-reduction lower bounds exceed the shared total threshold are
+// skipped before any synthesis. The result is sorted by (Total,
+// MatrixIdx) and truncated to TopK placements when set.
 func (p *Planner) RunJoint(matrices []*placement.Matrix, reds []JointSpec, opts Options) ([]*JointCandidate, Stats, error) {
 	var rc runCounters
-	perWorker, err := fanOut(opts, len(matrices), func(mi int) ([]*JointCandidate, error) {
-		m := matrices[mi]
-		jc := &JointCandidate{MatrixIdx: mi, Matrix: m}
-		for _, red := range reds {
-			ropts := opts
-			ropts.Collapse = red.Collapse
-			ropts.Algos = red.Algos
-			if red.MaxProgramSize > 0 {
-				ropts.MaxProgramSize = red.MaxProgramSize
-			}
-			cands, err := p.planMatrix(mi, m, red.ReduceAxes, red.Model, ropts, &rc)
+	thr := newThreshold()
+	prune := opts.TopK > 0
+	perWorker, produced, err := fanOut(opts, sliceStream(matrices), func(ws *workerState, mi int, m *placement.Matrix, emit func(*JointCandidate)) error {
+		hs := make([]*hierarchy.Hierarchy, len(reds))
+		bounds := make([]float64, len(reds))
+		for ri, red := range reds {
+			ropts := red.options(opts)
+			h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, red.ReduceAxes, hierarchy.Options{Collapse: ropts.Collapse})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			if len(cands) == 0 {
-				return nil, &ErrNoPrograms{ReduceAxes: red.ReduceAxes, Matrix: m}
+			hs[ri] = h
+			if prune {
+				bounds[ri] = red.weight() * placementBound(red.Model.Sys, h, red.Model.Bytes)
 			}
-			best := cands[0]
-			for _, c := range cands[1:] {
-				if Less(c, best) {
-					best = c
-				}
+		}
+		if prune {
+			bound := 0.0
+			for _, b := range bounds {
+				bound += b
 			}
-			w := red.Weight
-			if w <= 0 {
-				w = 1
+			if bound > thr.load() {
+				rc.prunedPlacements.Add(1)
+				return nil
 			}
+		}
+		jc := &JointCandidate{MatrixIdx: mi, Matrix: m}
+		for ri, red := range reds {
+			best, err := p.bestForReduction(ws, mi, m, hs[ri], red, red.options(opts), &rc)
+			if err != nil {
+				return err
+			}
+			if best == nil {
+				return &ErrNoPrograms{ReduceAxes: red.ReduceAxes, Matrix: m}
+			}
+			w := red.weight()
 			jc.PerReduction = append(jc.PerReduction, best)
 			jc.Costs = append(jc.Costs, w*best.Predicted)
 			jc.Total += w * best.Predicted
+			if prune && ri+1 < len(reds) {
+				// The remaining reductions cost at least their bounds; a
+				// placement already provably above the threshold cannot
+				// enter the top-K placements.
+				rest := 0.0
+				for _, b := range bounds[ri+1:] {
+					rest += b
+				}
+				if jc.Total+rest > thr.load() {
+					rc.prunedPlacements.Add(1)
+					return nil
+				}
+			}
 		}
-		return []*JointCandidate{jc}, nil
-	}, jointLess)
-	stats := Stats{
-		Placements: len(matrices),
-		SynthRuns:  int(rc.synthRuns.Load()),
-		MemoHits:   int(rc.memoHits.Load()),
-		Candidates: int(rc.scored.Load()),
-	}
+		emit(jc)
+		return nil
+	}, jointLess, func(jc *JointCandidate) float64 { return jc.Total }, thr)
+	stats := rc.stats(produced, thr)
 	if err != nil {
 		return nil, stats, err
 	}
 	return mergeRanked(perWorker, opts.TopK, jointLess), stats, nil
 }
 
-// fanOut runs produce(0..n-1) over the option-bounded worker pool, each
-// worker folding its results into a top-K bounded heap. It returns each
-// worker's kept items (unsorted) and, deterministically, the error of
-// the lowest-indexed failing item: every item is produced even after a
-// failure (errors are configuration mistakes, not a hot path, so the
-// wasted work does not matter and the serial path's error is reproduced
-// at every worker count).
-func fanOut[T any](opts Options, n int, produce func(i int) ([]T, error), less func(a, b T) bool) ([][]T, error) {
-	workers := opts.workers(n)
-	perWorker := make([][]T, workers)
-	errs := make([]error, n)
-	var next atomic.Int64
+// errRecorder tracks the lowest-indexed failure of a run. Once any item
+// fails, the producer stops streaming new items and workers discard
+// in-flight items with a higher index than the recorded failure — items
+// with a lower index still run, because one of them could fail and the
+// serial path would have reported that earlier error. Items are streamed
+// in index order, so every index below the final winner was dispatched
+// (and therefore processed) before the run drains: the reported error is
+// the lowest-indexed failure at every worker count, with no wasted work
+// past it.
+type errRecorder struct {
+	failed atomic.Bool
+	mu     sync.Mutex
+	idx    int
+	err    error
+}
+
+func (r *errRecorder) record(i int, err error) {
+	r.mu.Lock()
+	if r.err == nil || i < r.idx {
+		r.idx, r.err = i, err
+	}
+	r.mu.Unlock()
+	r.failed.Store(true)
+}
+
+// discard reports whether item i cannot influence the reported error.
+func (r *errRecorder) discard(i int) bool {
+	if !r.failed.Load() {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err != nil && i > r.idx
+}
+
+func (r *errRecorder) get() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// fanOut streams placements from the producer through the option-bounded
+// worker pool. Each worker folds emitted items into its top-K bounded
+// heap the moment they are scored and publishes its full heap's worst
+// value to the shared threshold, so pruning tightens mid-placement, not
+// just between placements. It returns each worker's kept items
+// (unsorted), the number of placements streamed, and — deterministically
+// — the lowest-indexed error.
+func fanOut[T any](opts Options, stream func(func(*placement.Matrix) bool) error,
+	produce func(ws *workerState, i int, m *placement.Matrix, emit func(T)) error,
+	less func(a, b T) bool, pred func(T) float64, thr *threshold) ([][]T, int, error) {
+
+	workers := opts.workers()
+	type item struct {
+		idx int
+		m   *placement.Matrix
+	}
+	buf := 2 * workers
+	if buf > 256 {
+		buf = 256
+	}
+	ch := make(chan item, buf)
+	var rec errRecorder
+
+	var mu sync.Mutex
+	var perWorker [][]T
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			keep := newTopK(opts.TopK, less)
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					break
-				}
-				items, err := produce(i)
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				for _, it := range items {
-					keep.push(it)
+	worker := func() {
+		defer wg.Done()
+		ws := &workerState{}
+		keep := newTopK(opts.TopK, less)
+		emit := func(x T) {
+			keep.push(x)
+			if opts.TopK > 0 {
+				if worst, ok := keep.worst(); ok {
+					thr.tighten(pred(worst))
 				}
 			}
-			perWorker[w] = keep.items()
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
 		}
+		for it := range ch {
+			if rec.discard(it.idx) {
+				continue
+			}
+			if err := produce(ws, it.idx, it.m, emit); err != nil {
+				rec.record(it.idx, err)
+			}
+		}
+		mu.Lock()
+		perWorker = append(perWorker, keep.items())
+		mu.Unlock()
 	}
-	return perWorker, nil
+
+	// The producer spawns workers lazily, one per streamed item up to the
+	// pool bound, so the goroutine count is min(workers, placements) — an
+	// absurd Parallelism costs nothing on a small request, and a
+	// single-matrix request uses one worker.
+	produced := 0
+	var streamErr error
+	prodDone := make(chan struct{})
+	go func() {
+		defer close(prodDone)
+		defer close(ch)
+		streamErr = stream(func(m *placement.Matrix) bool {
+			if rec.failed.Load() {
+				return false
+			}
+			if produced < workers {
+				wg.Add(1)
+				go worker()
+			}
+			ch <- item{produced, m}
+			produced++
+			return true
+		})
+	}()
+
+	<-prodDone
+	wg.Wait()
+	if err := rec.get(); err != nil {
+		return nil, produced, err
+	}
+	if streamErr != nil {
+		return nil, produced, streamErr
+	}
+	return perWorker, produced, nil
 }
 
 // mergeRanked merges the per-worker keeps into the final ranking.

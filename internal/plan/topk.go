@@ -34,6 +34,17 @@ func (t *topK[T]) push(x T) {
 // items returns the kept items in unspecified order.
 func (t *topK[T]) items() []T { return t.heap }
 
+// worst returns the worst kept item, but only once the heap holds its full
+// k items — before that, the worst kept value says nothing about the k-th
+// best overall.
+func (t *topK[T]) worst() (T, bool) {
+	if t.k <= 0 || len(t.heap) < t.k {
+		var zero T
+		return zero, false
+	}
+	return t.heap[0], true
+}
+
 // worse is the max-heap order: a sinks below b when a ranks after b.
 func (t *topK[T]) worse(a, b T) bool { return t.less(b, a) }
 

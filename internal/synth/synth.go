@@ -149,16 +149,36 @@ func Synthesize(h *hierarchy.Hierarchy, opts Options) *Result {
 	}
 	progs := s.suffixes(dsl.NewContext(h), opts.MaxSize)
 	// The DFS returns suffix order; sort by size then lexicographic.
-	sort.Slice(progs, func(i, j int) bool {
-		a, b := progs[i], progs[j]
-		if len(a) != len(b) {
-			return len(a) < len(b)
-		}
-		return a.String() < b.String()
-	})
+	// Rendering both programs inside the comparator dominated large
+	// syntheses, so the keys are computed once up front (String is
+	// injective over programs, so the order is unchanged).
+	keys := make([]string, len(progs))
+	for i, p := range progs {
+		keys[i] = p.String()
+	}
+	sort.Sort(&bySizeThenKey{progs: progs, keys: keys})
 	s.res.Programs = progs
 	s.res.Elapsed = time.Since(start)
 	return s.res
+}
+
+// bySizeThenKey sorts programs by size then by their precomputed
+// rendering, keeping the two slices aligned.
+type bySizeThenKey struct {
+	progs []dsl.Program
+	keys  []string
+}
+
+func (b *bySizeThenKey) Len() int { return len(b.progs) }
+func (b *bySizeThenKey) Less(i, j int) bool {
+	if len(b.progs[i]) != len(b.progs[j]) {
+		return len(b.progs[i]) < len(b.progs[j])
+	}
+	return b.keys[i] < b.keys[j]
+}
+func (b *bySizeThenKey) Swap(i, j int) {
+	b.progs[i], b.progs[j] = b.progs[j], b.progs[i]
+	b.keys[i], b.keys[j] = b.keys[j], b.keys[i]
 }
 
 func (s *synthesizer) atGoal(ctx dsl.Context) bool {

@@ -234,7 +234,9 @@ type PlanResult struct {
 	Request Request
 	System  *System
 	// Stats reports the planning effort (placements, synthesis runs,
-	// signature-memo hits, candidates scored).
+	// signature-memo hits, candidates scored) and — with Request.TopK set
+	// — the pruning wins (placements and programs skipped by the
+	// admissible lower bound, threshold tightenings).
 	Stats plan.Stats
 }
 
@@ -289,21 +291,28 @@ func (req Request) withDefaults(sys *System) Request {
 // ranking additionally searches the per-step algorithm assignment of
 // every candidate — (placement, program, per-step algorithm) jointly.
 //
-// Planning runs on the parallel memoized engine (internal/plan):
-// placements fan out over req.Parallelism workers, placements inducing
-// the same reduction hierarchy share one synthesis run, step costs are
-// memoized by (instruction, rows, algorithm), and req.TopK bounds the
-// result without materializing the full cross-product. The ranking —
+// Planning runs on the bound-pruned streaming engine (internal/plan):
+// placements stream from the enumeration DFS (placement.Iterate) straight
+// into req.Parallelism workers without materializing the placement set,
+// placements inducing the same reduction hierarchy share one synthesis
+// run, step costs are scored allocation-free and memoized by
+// (instruction, rows, algorithm), and req.TopK bounds the result without
+// materializing the full cross-product — additionally arming admissible
+// lower-bound pruning that skips synthesis, lowering and scoring for
+// provably out-of-top-K work (see PlanResult.Stats). The ranking —
 // including tie order — is identical to PlanSerial for every parallelism
-// level.
+// level and every TopK.
 func Plan(sys *System, req Request) (*PlanResult, error) {
 	req = req.withDefaults(sys)
-	matrices, err := planMatrices(sys, req)
-	if err != nil {
-		return nil, err
+	stream := func(yield func(*placement.Matrix) bool) error {
+		if req.Matrix != nil {
+			yield(req.Matrix)
+			return nil
+		}
+		return placement.Iterate(sys.Hierarchy(), req.Axes, yield)
 	}
 	model := &cost.Model{Sys: sys, Algo: req.Algo, Bytes: req.Bytes}
-	cands, stats, err := plan.New().Run(matrices, req.ReduceAxes, model, plan.Options{
+	cands, stats, err := plan.New().RunStream(stream, req.ReduceAxes, model, plan.Options{
 		Parallelism:    req.Parallelism,
 		TopK:           req.TopK,
 		MaxProgramSize: req.MaxProgramSize,

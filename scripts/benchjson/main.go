@@ -1,0 +1,121 @@
+// Command benchjson converts `go test -bench -benchmem` output (on stdin)
+// into the repo's BENCH_plan.json snapshot: per-benchmark ns/op, B/op and
+// allocs/op plus the planning engine's memoization/pruning artifact lines.
+// If the output file already exists, its "baseline" section is preserved
+// so successive runs compare against the recorded pre-optimization
+// numbers; on first run the current numbers seed the baseline.
+//
+// It is invoked by scripts/bench.sh, which owns the benchmark selection.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Bench is one benchmark's measurements.
+type Bench struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      *int64  `json:"b_op,omitempty"`
+	AllocsOp *int64  `json:"allocs_op,omitempty"`
+}
+
+// Run is one snapshot of the suite.
+type Run struct {
+	Date       string             `json:"date"`
+	Benchtime  string             `json:"benchtime"`
+	Benchmarks map[string]Bench   `json:"benchmarks"`
+	// Pruning holds the planning-engine artifact lines (placements,
+	// synth runs, memo hits, bound-pruning counters) keyed by engine
+	// configuration, verbatim.
+	Pruning map[string][]string `json:"pruning,omitempty"`
+	Note    string              `json:"note,omitempty"`
+}
+
+// File is the BENCH_plan.json layout.
+type File struct {
+	Baseline *Run `json:"baseline,omitempty"`
+	Current  *Run `json:"current"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("o", "BENCH_plan.json", "output file")
+	benchtime := flag.String("benchtime", "", "benchtime label recorded in the snapshot")
+	note := flag.String("note", "", "free-form note recorded in the snapshot")
+	flag.Parse()
+
+	cur := &Run{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Benchtime:  *benchtime,
+		Benchmarks: map[string]Bench{},
+		Pruning:    map[string][]string{},
+		Note:       *note,
+	}
+	engineKey := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := benchLine.FindStringSubmatch(line); m != nil {
+			b := Bench{}
+			b.NsOp, _ = strconv.ParseFloat(m[2], 64)
+			if m[3] != "" {
+				bop, _ := strconv.ParseInt(m[3], 10, 64)
+				aop, _ := strconv.ParseInt(m[4], 10, 64)
+				b.BOp, b.AllocsOp = &bop, &aop
+			}
+			cur.Benchmarks[m[1]] = b
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "===== Planning engine — "); ok {
+			engineKey = strings.TrimSuffix(rest, " =====")
+			continue
+		}
+		if engineKey != "" {
+			if trimmed := strings.TrimSpace(line); trimmed != "" &&
+				(strings.HasPrefix(trimmed, "placements=") || strings.HasPrefix(trimmed, "topk=")) {
+				cur.Pruning[engineKey] = append(cur.Pruning[engineKey], trimmed)
+				continue
+			}
+			engineKey = ""
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(cur.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	f := &File{Current: cur}
+	if data, err := os.ReadFile(*out); err == nil {
+		var prev File
+		if err := json.Unmarshal(data, &prev); err == nil && prev.Baseline != nil {
+			f.Baseline = prev.Baseline
+		}
+	}
+	if f.Baseline == nil {
+		f.Baseline = cur
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
