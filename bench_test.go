@@ -532,6 +532,38 @@ func BenchmarkPlanSuperPod4x8(b *testing.B) {
 	benchPlanEngine(b, topology.SuperPodSystem(4, 8), []int{16, 16}, []int{0})
 }
 
+// BenchmarkPlanSuperPod3x4 is the non-power-of-two configuration: a
+// 3-pod cluster whose reduction groups (3, 6, 12 wide) run the residual
+// halving-doubling schedule under the `-algo auto` search, tracking the
+// residual-HD scoring path in BENCH_plan.json.
+func BenchmarkPlanSuperPod3x4(b *testing.B) {
+	sys := topology.SuperPodSystem(3, 4)
+	req := p2.Request{Axes: []int{12, 8}, ReduceAxes: []int{0}, Algos: cost.ExtendedAlgorithms}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p2.PlanSerial(sys, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p2.Plan(sys, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel-top5", func(b *testing.B) {
+		r := req
+		r.TopK = 5
+		for i := 0; i < b.N; i++ {
+			if _, err := p2.Plan(sys, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkPlanJointEngine compares serial and parallel joint planning
 // (two reductions à la Megatron data × tensor parallelism).
 func BenchmarkPlanJointEngine(b *testing.B) {

@@ -48,7 +48,7 @@ func newCommon(name string, out io.Writer) *commonFlags {
 		nodes:       fs.Int("nodes", 4, "number of nodes (a100/v100 presets)"),
 		axes:        fs.String("axes", "", `parallelism axes, e.g. "[4 16]"`),
 		reduce:      fs.String("reduce", "[0]", `reduction axes, e.g. "[0]" or "[0 2]"`),
-		algo:        fs.String("algo", "Ring", "NCCL algorithm: Ring, Tree, HalvingDoubling, or auto to search the per-step assignment"),
+		algo:        fs.String("algo", "Ring", "NCCL algorithm (case-insensitive): Ring, Tree, HalvingDoubling, or auto to search the per-step assignment"),
 		matrix:      fs.String("matrix", "", `restrict to one matrix, e.g. "[[2 2] [2 8]]"`),
 		parallelism: fs.Int("parallelism", 0, "planner worker pool size (0 = GOMAXPROCS, 1 = sequential)"),
 		topk:        fs.Int("topk", 0, "keep only the K fastest-predicted strategies (0 = all); also arms bound pruning"),
@@ -130,10 +130,14 @@ func (c *commonFlags) parsed() (axes, red []int, algo cost.Algorithm, algos []co
 	if err != nil {
 		return nil, nil, 0, nil, err
 	}
-	if *c.algo == "auto" {
+	if strings.EqualFold(*c.algo, "auto") {
 		return axes, red, cost.Ring, cost.ExtendedAlgorithms, nil
 	}
-	algo, err = cost.ParseAlgorithm(*c.algo)
+	if algo, err = cost.ParseAlgorithm(*c.algo); err != nil {
+		// ParseAlgorithm doesn't know about the CLI-level auto mode; its
+		// error must still offer it.
+		err = fmt.Errorf("%w (or \"auto\" to search the per-step assignment)", err)
+	}
 	return axes, red, algo, nil, err
 }
 

@@ -55,6 +55,9 @@ var determinismCases = []struct {
 	{"fig2a-auto", p2.Fig2aSystem(), []int{4, 4}, []int{0}, p2.ExtendedAlgorithms},
 	{"a100-4-auto", p2.A100System(4), []int{4, 16}, []int{0}, p2.ExtendedAlgorithms},
 	{"superpod-2x4-auto", p2.SuperPodSystem(2, 4), []int{8, 8}, []int{0}, p2.ExtendedAlgorithms},
+	// Non-power-of-two pod count: reduction groups of 3, 6 and 12 run the
+	// residual halving-doubling schedule inside the auto search.
+	{"superpod-3x4-auto", p2.SuperPodSystem(3, 4), []int{12, 8}, []int{0}, p2.ExtendedAlgorithms},
 }
 
 func TestPlanParallelMatchesSerial(t *testing.T) {
@@ -173,6 +176,10 @@ func TestPlanPrunedMatchesSerial(t *testing.T) {
 		{"a100-4-auto", p2.A100System(4), []int{4, 16}, []int{0}, p2.ExtendedAlgorithms},
 		{"superpod-2x4-auto", p2.SuperPodSystem(2, 4), []int{8, 8}, []int{0}, p2.ExtendedAlgorithms},
 		{"a100-4-multi-axis", p2.A100System(4), []int{16, 2, 2}, []int{0, 2}, nil},
+		// Residual halving-doubling under pruning: non-pow2 groups must
+		// still rank byte-identically to the serial brute force at every
+		// TopK × parallelism combination.
+		{"superpod-3x4-auto", p2.SuperPodSystem(3, 4), []int{12, 8}, []int{0}, p2.ExtendedAlgorithms},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			serial, err := p2.PlanSerial(tc.sys, p2.Request{Axes: tc.axes, ReduceAxes: tc.red, Algos: tc.algos})

@@ -34,11 +34,15 @@ const (
 	Tree
 	// HalvingDoubling is the recursive halving/doubling AllReduce — an
 	// extension beyond the paper's Ring/Tree evaluation. It is
-	// bandwidth-optimal with only 2·log2(g) rounds, but its long-distance
-	// exchanges cross slow links with large halves, so it loses to ring
-	// on hierarchical networks for big payloads and wins on latency-bound
-	// small ones. Groups whose size is not a power of two fall back to
-	// ring.
+	// bandwidth-optimal with only 2·⌈log2(g)⌉ rounds, but its
+	// long-distance exchanges cross slow links with large halves, so it
+	// loses to ring on hierarchical networks for big payloads and wins on
+	// latency-bound small ones. Groups whose size g is not a power of two
+	// run NCCL's 2-proc-residual variant: the r = g − 2^⌊log2 g⌋ residual
+	// members fold their full vector into power-of-two partners in a
+	// pre-round, the 2^⌊log2 g⌋ core members run the standard recursive
+	// halving/doubling, and a mirrored post-round unfolds the result back
+	// to the residual members.
 	HalvingDoubling
 )
 
@@ -63,18 +67,20 @@ func (a Algorithm) String() string {
 	}
 }
 
-// ParseAlgorithm parses "Ring", "Tree" or "HalvingDoubling"
-// (case-sensitive).
+// ParseAlgorithm parses an algorithm name ("Ring", "Tree" or
+// "HalvingDoubling", case-insensitive); the error for an unknown name
+// enumerates the valid ones.
 func ParseAlgorithm(s string) (Algorithm, error) {
-	switch s {
-	case "Ring":
-		return Ring, nil
-	case "Tree":
-		return Tree, nil
-	case "HalvingDoubling":
-		return HalvingDoubling, nil
+	for _, a := range ExtendedAlgorithms {
+		if strings.EqualFold(s, a.String()) {
+			return a, nil
+		}
 	}
-	return 0, fmt.Errorf("cost: unknown algorithm %q", s)
+	names := make([]string, len(ExtendedAlgorithms))
+	for i, a := range ExtendedAlgorithms {
+		names[i] = a.String()
+	}
+	return 0, fmt.Errorf("cost: unknown algorithm %q (valid: %s)", s, strings.Join(names, ", "))
 }
 
 // Model is an analytic cost model for one system, algorithm and payload.
@@ -237,7 +243,10 @@ func (m *Model) schedule(op collective.Op, g []int, perDevice float64) ([]edge, 
 		if m.Algo == Tree {
 			return m.treeEdges(g, 2*perDevice), 2 * logRounds(n)
 		}
-		if m.Algo == HalvingDoubling && isPow2(n) {
+		if m.Algo == HalvingDoubling {
+			// 2·⌈log2 n⌉ rounds: for a power of two, the halving plus
+			// doubling phases; otherwise 2·⌊log2 n⌋ core rounds plus the
+			// residual fold pre-round and unfold post-round.
 			return hdEdges(g, perDevice), 2 * logRounds(n)
 		}
 		return ringEdges(g, 2*float64(n-1)/float64(n)*perDevice), 2 * (n - 1)
@@ -331,15 +340,30 @@ func TreeLinks(sys *topology.System, g []int) [][2]int {
 }
 
 // hdEdges expands recursive halving (reduce-scatter phase) plus recursive
-// doubling (all-gather phase): in round r, member i exchanges D/2^(r+1)
-// with the member whose group index is i XOR 2^r; the doubling phase
-// mirrors the halving phase, so every exchanged quantity is counted twice.
+// doubling (all-gather phase) with NCCL's 2-proc-residual pre/post rounds
+// for non-power-of-two groups. Let p = 2^⌊log2 n⌋ and r = n − p: residual
+// member p+k first folds its full vector into partner k (pre-round), the p
+// core members run the standard schedule — in round t, core index i
+// exchanges D/2^(t+1) with i XOR 2^t, the doubling phase mirroring the
+// halving phase so every exchanged quantity is counted twice — and partner
+// k finally returns the full result to p+k (post-round). The fold and
+// unfold transfers are the two directions of one edge pair, mirroring how
+// each core exchange is counted for both phases. For power-of-two groups
+// r = 0 and the schedule (and its edge order) is the pure core.
 func hdEdges(g []int, perDevice float64) []edge {
 	n := len(g)
+	p := CorePow2(n)
 	var edges []edge
-	for r := 0; 1<<r < n; r++ {
+	for k := p; k < n; k++ {
+		// Pre-round fold g[k]→g[k-p] plus post-round unfold g[k-p]→g[k],
+		// each carrying the full per-device vector.
+		edges = append(edges,
+			edge{g[k], g[k-p], perDevice},
+			edge{g[k-p], g[k], perDevice})
+	}
+	for r := 0; 1<<r < p; r++ {
 		bytes := 2 * perDevice / float64(int(2)<<r) // halving + doubling phases
-		for i := 0; i < n; i++ {
+		for i := 0; i < p; i++ {
 			j := i ^ (1 << r)
 			if j > i {
 				// Both directions run concurrently in each phase.
@@ -352,7 +376,18 @@ func hdEdges(g []int, perDevice float64) []edge {
 	return edges
 }
 
-func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+// CorePow2 returns 2^⌊log2 n⌋, the size of the halving-doubling core (the
+// largest power of two not exceeding n); the n − CorePow2(n) residual
+// members fold into core partners around it. Shared with the event-level
+// emulator (like TreeLinks) so both simulators split the group into the
+// same core and residual.
+func CorePow2(n int) int {
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}
 
 func logRounds(n int) int {
 	return int(math.Ceil(math.Log2(float64(n))))

@@ -2,6 +2,7 @@ package cost
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"p2/internal/collective"
@@ -198,14 +199,31 @@ func TestCostScalesLinearlyWithBytes(t *testing.T) {
 }
 
 func TestAlgorithmStringParse(t *testing.T) {
-	for _, a := range Algorithms {
+	for _, a := range ExtendedAlgorithms {
 		back, err := ParseAlgorithm(a.String())
 		if err != nil || back != a {
 			t.Errorf("ParseAlgorithm(%v) = %v, %v", a, back, err)
 		}
 	}
-	if _, err := ParseAlgorithm("ring"); err == nil {
-		t.Error("lowercase accepted")
+	// Parsing is case-insensitive: CLI users type -algo halvingdoubling.
+	for in, want := range map[string]Algorithm{
+		"ring": Ring, "TREE": Tree, "halvingdoubling": HalvingDoubling,
+		"HALVINGDOUBLING": HalvingDoubling,
+	} {
+		got, err := ParseAlgorithm(in)
+		if err != nil || got != want {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	// Unknown names list the valid ones so the CLI error is actionable.
+	_, err := ParseAlgorithm("nccl")
+	if err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	for _, name := range []string{"Ring", "Tree", "HalvingDoubling"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not enumerate %q", err, name)
+		}
 	}
 }
 

@@ -1,0 +1,39 @@
+package cost
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseAlgorithm checks the ParseAlgorithm ∘ String round trip: any
+// accepted input must name an algorithm whose canonical String parses back
+// to the same value, and acceptance must be exactly case-insensitive
+// matching of a canonical name.
+func FuzzParseAlgorithm(f *testing.F) {
+	for _, a := range ExtendedAlgorithms {
+		f.Add(a.String())
+		f.Add(strings.ToLower(a.String()))
+		f.Add(strings.ToUpper(a.String()))
+	}
+	f.Add("auto")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAlgorithm(s)
+		if err != nil {
+			// Rejected inputs must not case-fold to a valid name.
+			for _, v := range ExtendedAlgorithms {
+				if strings.EqualFold(s, v.String()) {
+					t.Fatalf("rejected %q, which folds to %v", s, v)
+				}
+			}
+			return
+		}
+		if !strings.EqualFold(s, a.String()) {
+			t.Fatalf("accepted %q as %v without a case-fold match", s, a)
+		}
+		back, err := ParseAlgorithm(a.String())
+		if err != nil || back != a {
+			t.Fatalf("round trip of %v: got %v, %v", a, back, err)
+		}
+	})
+}

@@ -1,8 +1,11 @@
 package cost
 
 import (
+	"fmt"
+	"math"
 	"testing"
 
+	"p2/internal/collective"
 	"p2/internal/dsl"
 	"p2/internal/hierarchy"
 	"p2/internal/lower"
@@ -88,12 +91,12 @@ func TestHalvingDoublingWinsLatencyBound(t *testing.T) {
 	}
 }
 
-func TestHalvingDoublingFallsBackOnNonPow2(t *testing.T) {
-	// A 3-wide group cannot run HD; the model must fall back to ring
-	// rather than panic or miscount.
-	m := placement.MustMatrix([]int{3, 4}, []int{3, 4}, [][]int{{3, 1}, {1, 4}})
-	sys, err := topology.New("odd",
-		[]topology.Level{{Name: "node", Count: 3}, {Name: "gpu", Count: 4}},
+// oddSystem is an n-node × gpus-per-node two-level testbed for the
+// residual (non-power-of-two) halving-doubling paths.
+func oddSystem(t testing.TB, nodes, gpus int) *topology.System {
+	t.Helper()
+	sys, err := topology.New(fmt.Sprintf("odd-%dx%d", nodes, gpus),
+		[]topology.Level{{Name: "node", Count: nodes}, {Name: "gpu", Count: gpus}},
 		[]topology.Link{
 			{Name: "NIC", Bandwidth: 8e9, Latency: 2e-5},
 			{Name: "NVL", Bandwidth: 200e9, Latency: 2e-6},
@@ -101,12 +104,113 @@ func TestHalvingDoublingFallsBackOnNonPow2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = sys
-	lpFull := lowerForMatrix(t, m, []int{0}, synth.BaselineAllReduce())
-	ring := &Model{Sys: sys, Algo: Ring, Bytes: 1e9}
-	hd := &Model{Sys: sys, Algo: HalvingDoubling, Bytes: 1e9}
-	if r, h := ring.ProgramTime(lpFull), hd.ProgramTime(lpFull); r != h {
-		t.Errorf("non-pow2 HD (%v) should equal ring (%v)", h, r)
+	return sys
+}
+
+// TestHalvingDoublingResidualSchedule pins the residual variant's exact
+// analytic cost on a 3-wide all-remote group: the partner node's uplink
+// carries the fold + unfold (2D) plus the 2-wide core exchange (2D) = 4D,
+// and the step pays 2·⌈log2 3⌉ = 4 rounds of NIC latency. No ring
+// arithmetic appears anywhere in the number.
+func TestHalvingDoublingResidualSchedule(t *testing.T) {
+	sys := oddSystem(t, 3, 4)
+	m := placement.MustMatrix([]int{3, 4}, []int{3, 4}, [][]int{{3, 1}, {1, 4}})
+	lp := lowerForMatrix(t, m, []int{0}, synth.BaselineAllReduce())
+	d := 1e9
+	hd := &Model{Sys: sys, Algo: HalvingDoubling, Bytes: d}
+	got := hd.ProgramTime(lp)
+	// 4 groups of 3 (one member per node): each node hosts the residual,
+	// the partner or the other core member of 4 groups — the partner role
+	// dominates with 4 × 4D through one 8 GB/s NIC.
+	want := 4*4*d/8e9 + 4*2e-5
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("residual HD on 3-wide groups = %v, want %v", got, want)
+	}
+	// The residual schedule is NOT the ring fallback anymore: ring moves
+	// 2·(n-1)/n·D per edge and must differ.
+	ring := &Model{Sys: sys, Algo: Ring, Bytes: d}
+	if r := ring.ProgramTime(lp); r == got {
+		t.Errorf("non-pow2 HD (%v) still equals ring (%v) — fallback not removed", got, r)
+	}
+}
+
+// TestHalvingDoublingResidualReducesCorrectVolume checks hdEdges'
+// bookkeeping for every residual size the acceptance criteria name: the
+// total scheduled volume must be r·2D for the fold/unfold pairs plus
+// p·2D·(p-1)/p for the core phases, and the round count schedule()
+// reports for the latency term must cover the core rounds plus (for a
+// residual) the fold and unfold rounds.
+func TestHalvingDoublingResidualReducesCorrectVolume(t *testing.T) {
+	const d = 1024.0
+	for _, n := range []int{2, 3, 4, 5, 6, 7, 8, 12, 16} {
+		g := make([]int, n)
+		for i := range g {
+			g[i] = i
+		}
+		p := CorePow2(n)
+		edges := hdEdges(g, d)
+		total := 0.0
+		residual := 0.0
+		for _, e := range edges {
+			total += e.bytes
+			if e.a >= p || e.b >= p {
+				residual += e.bytes
+			}
+		}
+		wantResidual := float64(n-p) * 2 * d
+		wantCore := float64(p) * 2 * d * float64(p-1) / float64(p)
+		if math.Abs(residual-wantResidual) > 1e-9 {
+			t.Errorf("n=%d: residual volume %v, want %v", n, residual, wantResidual)
+		}
+		if math.Abs(total-(wantResidual+wantCore)) > 1e-9 {
+			t.Errorf("n=%d: total volume %v, want %v", n, total, wantResidual+wantCore)
+		}
+		// The rounds value the model charges latency for, computed
+		// independently: 2 per core halving level (halving + doubling
+		// phases) plus the fold and unfold rounds when a residual exists.
+		want := 0
+		for q := 1; q < p; q *= 2 {
+			want += 2
+		}
+		if p != n {
+			want += 2
+		}
+		m := &Model{Algo: HalvingDoubling}
+		if _, rounds := m.schedule(collective.AllReduce, g, d); rounds != want {
+			t.Errorf("n=%d: schedule charges %d rounds, want %d", n, rounds, want)
+		}
+	}
+}
+
+// TestHalvingDoublingResidualBeatsRingLatencyBound: the point of the
+// exact schedule — on latency-bound non-pow2 groups HD's 2⌈log2 n⌉
+// rounds beat ring's 2(n-1), so the auto search can genuinely pick it.
+func TestHalvingDoublingResidualBeatsRingLatencyBound(t *testing.T) {
+	sys := oddSystem(t, 6, 4)
+	m := placement.MustMatrix([]int{6, 4}, []int{6, 4}, [][]int{{6, 1}, {1, 4}})
+	lp := lowerForMatrix(t, m, []int{0}, synth.BaselineAllReduce())
+	ring := &Model{Sys: sys, Algo: Ring, Bytes: 64}
+	hd := &Model{Sys: sys, Algo: HalvingDoubling, Bytes: 64}
+	if h, r := hd.ProgramTime(lp), ring.ProgramTime(lp); h >= r {
+		t.Errorf("latency-bound residual HD (%v) should beat ring (%v): 6 rounds vs 10", h, r)
+	}
+}
+
+// TestAutoSearchPicksResidualHD: with the exact residual schedule in
+// place, the per-step algorithm search genuinely selects HalvingDoubling
+// on latency-bound non-pow2 groups (6 rounds vs ring's 10 on 6-wide
+// all-remote groups) — under the old ring fallback HD could never beat
+// ring there, so auto was blind to it.
+func TestAutoSearchPicksResidualHD(t *testing.T) {
+	sys := oddSystem(t, 6, 4)
+	m := placement.MustMatrix([]int{6, 4}, []int{6, 4}, [][]int{{6, 1}, {1, 4}})
+	lp := lowerForMatrix(t, m, []int{0}, synth.BaselineAllReduce())
+	model := &Model{Sys: sys, Algo: Ring, Bytes: 64}
+	assign, _ := model.BestStepAlgos(lp, ExtendedAlgorithms)
+	for i, a := range assign {
+		if a != HalvingDoubling {
+			t.Errorf("step %d: auto chose %v, want HalvingDoubling on a latency-bound 6-wide group", i, a)
+		}
 	}
 }
 

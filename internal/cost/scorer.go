@@ -150,7 +150,7 @@ func (s *Scorer) addGroup(op collective.Op, algo Algorithm, g []int, perDevice f
 			s.addTree(g, 2*perDevice)
 			return 2 * logRounds(n)
 		}
-		if algo == HalvingDoubling && isPow2(n) {
+		if algo == HalvingDoubling {
 			s.addRel(g, s.structural(schedHD, n, perDevice))
 			return 2 * logRounds(n)
 		}
@@ -202,10 +202,15 @@ func (s *Scorer) structural(kind schedKind, n int, bytes float64) []relEdge {
 			edges = append(edges, relEdge{i - 1, i, bytes})
 		}
 	case schedHD:
-		// Mirrors hdEdges: bytes here is the per-device payload.
-		for r := 0; 1<<r < n; r++ {
+		// Mirrors hdEdges (bytes here is the per-device payload): residual
+		// fold/unfold edge pairs first, then the power-of-two core rounds.
+		p := CorePow2(n)
+		for k := p; k < n; k++ {
+			edges = append(edges, relEdge{k, k - p, bytes}, relEdge{k - p, k, bytes})
+		}
+		for r := 0; 1<<r < p; r++ {
 			eb := 2 * bytes / float64(int(2)<<r)
-			for i := 0; i < n; i++ {
+			for i := 0; i < p; i++ {
 				j := i ^ (1 << r)
 				if j > i {
 					edges = append(edges, relEdge{i, j, eb}, relEdge{j, i, eb})

@@ -31,6 +31,10 @@ func scorerCases(t *testing.T) []struct {
 		{topology.A100System(2), []int{4, 8}, []int{0}},
 		{topology.V100System(2), []int{4, 4}, []int{1}},
 		{topology.SuperPodSystem(2, 4), []int{8, 8}, []int{0}},
+		// Non-power-of-two hierarchies exercise the residual
+		// halving-doubling schedule (groups of 3, 6 and 12).
+		{topology.A100System(3), []int{3, 16}, []int{0}},
+		{topology.SuperPodSystem(3, 2), []int{6, 8}, []int{0}},
 	}
 	for _, rq := range reqs {
 		matrices, err := placement.Enumerate(rq.sys.Hierarchy(), rq.axes)
@@ -93,8 +97,18 @@ func TestScorerMatchesModel(t *testing.T) {
 // TestScorerZeroAlloc: after warm-up (schedule cache populated), scoring
 // must not allocate.
 func TestScorerZeroAlloc(t *testing.T) {
-	sys := topology.SuperPodSystem(2, 4)
-	m, err := placement.ParseMatrix("[[1 2 4] [2 2 2]]", sys.Hierarchy(), []int{8, 8})
+	t.Run("superpod-2x4", func(t *testing.T) {
+		testScorerZeroAlloc(t, topology.SuperPodSystem(2, 4), "[[1 2 4] [2 2 2]]", []int{8, 8})
+	})
+	// Non-power-of-two groups must stay allocation-free too: the residual
+	// halving-doubling expansion is cached like the pure-core one.
+	t.Run("superpod-3x2", func(t *testing.T) {
+		testScorerZeroAlloc(t, topology.SuperPodSystem(3, 2), "[[3 1 2] [1 2 4]]", []int{6, 8})
+	})
+}
+
+func testScorerZeroAlloc(t *testing.T, sys *topology.System, matrix string, axes []int) {
+	m, err := placement.ParseMatrix(matrix, sys.Hierarchy(), axes)
 	if err != nil {
 		t.Fatal(err)
 	}

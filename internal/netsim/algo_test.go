@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -57,29 +58,46 @@ func TestHalvingDoublingCrossCheckPow2(t *testing.T) {
 	}
 }
 
-// TestHalvingDoublingCrossCheckNonPow2 cross-checks the ring fallback:
-// for a 3-wide group both simulators must produce exactly their ring
-// numbers under HD (the schedules are identical, so with noise disabled
-// the times are byte-identical).
-func TestHalvingDoublingCrossCheckNonPow2(t *testing.T) {
-	sys := topology.MustNew("odd",
-		[]topology.Level{{Name: "node", Count: 3}, {Name: "gpu", Count: 4}},
-		[]topology.Link{
-			{Name: "NIC", Bandwidth: 8e9, Latency: 2e-5},
-			{Name: "NVL", Bandwidth: 200e9, Latency: 2e-6},
-		})
-	// [[3 1] [1 4]]: 4 groups of 3, one member per node.
-	lp := lowerFor(t, []int{3, 4}, []int{3, 4}, [][]int{{3, 1}, {1, 4}}, []int{0},
-		synth.BaselineAllReduce())
-	ringM := quietSim(sys, cost.Ring, 1e9).Measure(lp)
-	hdM := quietSim(sys, cost.HalvingDoubling, 1e9).Measure(lp)
-	if hdM != ringM {
-		t.Errorf("non-pow2 HD on emulator = %v, want exactly ring's %v", hdM, ringM)
-	}
-	ringModel := &cost.Model{Sys: sys, Algo: cost.Ring, Bytes: 1e9}
-	hdModel := &cost.Model{Sys: sys, Algo: cost.HalvingDoubling, Bytes: 1e9}
-	if rp, hp := ringModel.ProgramTime(lp), hdModel.ProgramTime(lp); rp != hp {
-		t.Errorf("non-pow2 HD analytic = %v, want exactly ring's %v", hp, rp)
+// TestHalvingDoublingCrossCheckResidual cross-checks the analytic model
+// against the emulator on the residual (non-power-of-two) schedule for
+// every residual size the acceptance criteria name: with noise and
+// overheads off, one-member-per-node groups of n ∈ {3, 5, 6, 7, 12} must
+// land within 15% — and must NOT reproduce the ring numbers, proving the
+// fallback is gone from both executions.
+func TestHalvingDoublingCrossCheckResidual(t *testing.T) {
+	for _, n := range []int{3, 5, 6, 7, 12} {
+		sys := topology.MustNew(fmt.Sprintf("odd-%d", n),
+			[]topology.Level{{Name: "node", Count: n}, {Name: "gpu", Count: 4}},
+			[]topology.Link{
+				{Name: "NIC", Bandwidth: 8e9, Latency: 2e-5},
+				{Name: "NVL", Bandwidth: 200e9, Latency: 2e-6},
+			})
+		// [[n 1] [1 4]]: 4 groups of n, one member per node.
+		lp := lowerFor(t, []int{n, 4}, []int{n, 4}, [][]int{{n, 1}, {1, 4}}, []int{0},
+			synth.BaselineAllReduce())
+		// The emulator must execute the fold round, the 2·log2(p) core
+		// rounds and the unfold round — not a ring's 2(n-1) rounds.
+		g := lp.Steps[0].Groups[0]
+		wantRounds := 2
+		for q := 1; q < cost.CorePow2(n); q *= 2 {
+			wantRounds += 2
+		}
+		if rounds := scheduleRounds(sys, collective.AllReduce, g, 1e9, cost.HalvingDoubling); len(rounds) != wantRounds {
+			t.Errorf("n=%d: emulator runs %d rounds, want %d (fold + core + unfold)", n, len(rounds), wantRounds)
+		}
+		hdModel := &cost.Model{Sys: sys, Algo: cost.HalvingDoubling, Bytes: 1e9}
+		pred := hdModel.ProgramTime(lp)
+		meas := quietSim(sys, cost.HalvingDoubling, 1e9).Measure(lp)
+		if math.Abs(meas-pred)/pred > 0.15 {
+			t.Errorf("n=%d: emulated residual HD %v vs analytic %v (>15%% apart)", n, meas, pred)
+		}
+		ringModel := &cost.Model{Sys: sys, Algo: cost.Ring, Bytes: 1e9}
+		if rp := ringModel.ProgramTime(lp); rp == pred {
+			t.Errorf("n=%d: analytic residual HD still equals ring (%v)", n, pred)
+		}
+		if rm := quietSim(sys, cost.Ring, 1e9).Measure(lp); rm == meas {
+			t.Errorf("n=%d: emulated residual HD still equals ring (%v)", n, meas)
+		}
 	}
 }
 

@@ -6,7 +6,11 @@
 //   - per-link fair bandwidth sharing (all transfers crossing a link split
 //     its bandwidth equally, so a node's single NIC is a real point of
 //     contention),
-//   - the ring/tree schedules of NCCL, executed round by round,
+//   - the ring/tree/halving-doubling schedules of NCCL, executed round by
+//     round (halving-doubling on non-power-of-two groups runs the
+//     2-proc-residual variant: a fold pre-round into power-of-two
+//     partners, the recursive-halving/doubling core, an unfold
+//     post-round),
 //   - per-step launch overhead and per-round link latency,
 //   - V100 cross-PCIe-domain throttling (the effect the paper's analytic
 //     model deliberately ignores, Fig. 9b),
@@ -419,21 +423,46 @@ func scheduleRounds(sys *topology.System, op collective.Op, g []int, perDevice f
 		return round
 	}
 	hdRounds := func() [][]transferSpec {
-		// Recursive halving then recursive doubling: in round r of the
-		// halving phase, group index i exchanges D/2^(r+1) with i XOR
-		// 2^r; the doubling phase mirrors it.
+		// Recursive halving then recursive doubling with NCCL's
+		// 2-proc-residual pre/post rounds for non-power-of-two groups:
+		// with p = 2^⌊log2 n⌋, each residual member p+k first folds its
+		// full vector into core partner k, the p core members run the
+		// standard schedule — in round r of the halving phase, core index
+		// i exchanges D/2^(r+1) with i XOR 2^r, the doubling phase
+		// mirroring it — and a post-round returns the full result from
+		// partner k to p+k. For power-of-two groups the pre/post rounds
+		// are empty and the schedule is the pure core.
+		p := 1
+		for p*2 <= n {
+			p *= 2
+		}
+		var out [][]transferSpec
+		if p < n {
+			pre := make([]transferSpec, 0, n-p)
+			for k := p; k < n; k++ {
+				pre = append(pre, transferSpec{src: g[k], dst: g[k-p], bytes: perDevice})
+			}
+			out = append(out, pre)
+		}
 		var halving [][]transferSpec
-		for r := 0; 1<<r < n; r++ {
+		for r := 0; 1<<r < p; r++ {
 			bytes := perDevice / float64(int(2)<<r)
-			round := make([]transferSpec, 0, n)
-			for i := 0; i < n; i++ {
+			round := make([]transferSpec, 0, p)
+			for i := 0; i < p; i++ {
 				round = append(round, transferSpec{src: g[i], dst: g[i^(1<<r)], bytes: bytes})
 			}
 			halving = append(halving, round)
 		}
-		out := append([][]transferSpec{}, halving...)
+		out = append(out, halving...)
 		for i := len(halving) - 1; i >= 0; i-- {
 			out = append(out, halving[i])
+		}
+		if p < n {
+			post := make([]transferSpec, 0, n-p)
+			for k := p; k < n; k++ {
+				post = append(post, transferSpec{src: g[k-p], dst: g[k], bytes: perDevice})
+			}
+			out = append(out, post)
 		}
 		return out
 	}
@@ -442,7 +471,7 @@ func scheduleRounds(sys *topology.System, op collective.Op, g []int, perDevice f
 		if algo == cost.Tree {
 			return [][]transferSpec{treeRound(perDevice, true), treeRound(perDevice, false)}
 		}
-		if algo == cost.HalvingDoubling && n&(n-1) == 0 {
+		if algo == cost.HalvingDoubling {
 			return hdRounds()
 		}
 		return ringRounds(2*(n-1), perDevice/float64(n))

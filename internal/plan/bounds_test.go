@@ -28,6 +28,14 @@ func TestPlacementBoundAdmissible(t *testing.T) {
 		{topology.A100System(4), []int{16, 2, 2}, []int{0, 2}},
 		{topology.V100System(2), []int{4, 4}, []int{1}},
 		{topology.SuperPodSystem(2, 4), []int{8, 8}, []int{0}},
+		// Non-power-of-two group sizes: HalvingDoubling now runs the
+		// residual fold/unfold schedule here instead of falling back to
+		// ring, and the bound must stay below it (the fold pre-round and
+		// unfold post-round move 2·Bytes per split boundary — exactly the
+		// flow the bound charges, see DESIGN.md §6.1).
+		{topology.A100System(3), []int{3, 16}, []int{0}},
+		{topology.SuperPodSystem(3, 2), []int{6, 8}, []int{0}},
+		{topology.SuperPodSystem(3, 2), []int{4, 2, 6}, []int{0, 2}},
 	}
 	for _, tc := range cases {
 		matrices, err := placement.Enumerate(tc.sys.Hierarchy(), tc.axes)
