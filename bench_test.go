@@ -201,6 +201,8 @@ func BenchmarkTable4RowL(b *testing.B) {
 // --- Table 5: simulator accuracy (full suite) -----------------------------
 
 func BenchmarkTable5Accuracy(b *testing.B) {
+	// Pinned Ring/Tree rows (the paper's table) plus the auto-mode rows
+	// with the analytic-vs-measured disagreement rate.
 	run := func() []*eval.Result {
 		var all []*eval.Result
 		for _, s := range eval.PaperSuites() {
@@ -209,6 +211,11 @@ func BenchmarkTable5Accuracy(b *testing.B) {
 				b.Fatal(err)
 			}
 			all = append(all, rs...)
+			auto, err := eval.RunSuiteAuto(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			all = append(all, auto...)
 		}
 		return all
 	}

@@ -35,6 +35,7 @@ type commonFlags struct {
 	parallelism *int
 	topk        *int
 	bytes       *float64
+	measure     *string
 	stats       *bool
 	cpuprofile  *string
 }
@@ -53,7 +54,8 @@ func newCommon(name string, out io.Writer) *commonFlags {
 		parallelism: fs.Int("parallelism", 0, "planner worker pool size (0 = GOMAXPROCS, 1 = sequential)"),
 		topk:        fs.Int("topk", 0, "keep only the K fastest-predicted strategies (0 = all); also arms bound pruning"),
 		bytes:       fs.Float64("bytes", 0, "per-device payload in bytes (0 = paper default, 2^29 × machines float32)"),
-		stats:       fs.Bool("stats", false, "report planning-engine statistics (memoization and pruning counters)"),
+		measure:     fs.String("measure", "off", "measured-in-the-loop planning: off, rerank (re-rank the analytic top-K on the emulator), or rank-all (measure every candidate)"),
+		stats:       fs.Bool("stats", false, "report planning-engine statistics (memoization, pruning and measurement counters)"),
 		cpuprofile:  fs.String("cpuprofile", "", "write a CPU profile of the command to this file"),
 	}
 }
@@ -82,7 +84,9 @@ func (c *commonFlags) profiled(fn func() error) error {
 // printStats reports the planning-engine counters when -stats is set.
 // Memoization counters are deterministic; the pruning counters depend on
 // worker timing (how early the shared threshold tightened), so they are
-// opt-in rather than part of the default (reproducible) output.
+// opt-in rather than part of the default (reproducible) output. The
+// measurement counters (deterministic again) appear only when a measured
+// mode actually emulated something.
 func (c *commonFlags) printStats(out io.Writer, s plan.Stats) {
 	if !*c.stats {
 		return
@@ -90,6 +94,27 @@ func (c *commonFlags) printStats(out io.Writer, s plan.Stats) {
 	fmt.Fprintf(out, "planning: %d placements (%d bound-pruned), %d synth runs, %d memo hits, %d candidates scored (%d pruned early, %d bound tightenings)\n",
 		s.Placements, s.PrunedPlacements, s.SynthRuns, s.MemoHits,
 		s.Candidates, s.PrunedPrograms, s.BoundTightenings)
+	if s.MeasuredCandidates > 0 {
+		fmt.Fprintf(out, "measured: %d candidates emulated, %d analytic-vs-measured rank inversions\n",
+			s.MeasuredCandidates, s.RankInversions)
+	}
+}
+
+// measureMode parses the -measure flag.
+func (c *commonFlags) measureMode() (p2.MeasureMode, error) {
+	return p2.ParseMeasureMode(*c.measure)
+}
+
+// requireNoMeasure rejects -measure on commands whose output it cannot
+// influence — silently ignoring it would let the user believe the numbers
+// were emulator-ranked.
+func (c *commonFlags) requireNoMeasure(path string) error {
+	if mode, err := c.measureMode(); err != nil {
+		return err
+	} else if mode != p2.MeasureOff {
+		return fmt.Errorf("-measure has no effect on %s", path)
+	}
+	return nil
 }
 
 // requireNoStats rejects -stats on commands that have no planning
@@ -187,8 +212,12 @@ func parseSuperPodShape(shape string) (pods, nodesPerPod int, err error) {
 // planFor wraps p2.Plan with optional matrix restriction and engine
 // options from the CLI flags.
 func (c *commonFlags) planFor(sys *topology.System, axes, red []int, algo cost.Algorithm, algos []cost.Algorithm) (*p2.PlanResult, error) {
+	measure, err := c.measureMode()
+	if err != nil {
+		return nil, err
+	}
 	req := p2.Request{Axes: axes, ReduceAxes: red, Algo: algo, Algos: algos,
-		Parallelism: *c.parallelism, TopK: *c.topk, Bytes: *c.bytes}
+		Parallelism: *c.parallelism, TopK: *c.topk, Bytes: *c.bytes, Measure: measure}
 	if *c.matrix != "" {
 		m, err := p2.ParseMatrix(sys, axes, *c.matrix)
 		if err != nil {
@@ -216,6 +245,9 @@ func cmdPlacements(args []string, out io.Writer) error {
 		return err
 	}
 	if err := c.requireNoBytes(`"placements" (it only enumerates matrices)`); err != nil {
+		return err
+	}
+	if err := c.requireNoMeasure(`"placements" (it only enumerates matrices)`); err != nil {
 		return err
 	}
 	return c.profiled(func() error {
@@ -251,14 +283,25 @@ func cmdSynth(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		measured := plan.Request.Measure != p2.MeasureOff
 		n := len(plan.Strategies)
-		fmt.Fprintf(out, "%d strategies (placement × program), fastest predicted first:\n", n)
+		if measured {
+			fmt.Fprintf(out, "%d strategies (placement × program), fastest measured first (-measure %s):\n",
+				n, plan.Request.Measure)
+		} else {
+			fmt.Fprintf(out, "%d strategies (placement × program), fastest predicted first:\n", n)
+		}
 		if *top > 0 && *top < n {
 			n = *top
 		}
 		for i := 0; i < n; i++ {
 			s := plan.Strategies[i]
-			fmt.Fprintf(out, "  %2d: %9.3fs  %-18v %-16s %v\n", i+1, s.Predicted, s.Matrix, s.AlgoString(), s.Program)
+			if measured {
+				fmt.Fprintf(out, "  %2d: %9.3fs meas %9.3fs pred  %-18v %-16s %v\n",
+					i+1, s.Measured, s.Predicted, s.Matrix, s.AlgoString(), s.Program)
+			} else {
+				fmt.Fprintf(out, "  %2d: %9.3fs  %-18v %-16s %v\n", i+1, s.Predicted, s.Matrix, s.AlgoString(), s.Program)
+			}
 		}
 		c.printStats(out, plan.Stats)
 		return nil
@@ -280,6 +323,9 @@ func cmdEval(args []string, out io.Writer) error {
 		return err
 	}
 	if err := c.requireNoStats(); err != nil {
+		return err
+	}
+	if err := c.requireNoMeasure(`"eval" (its sweeps always measure every program)`); err != nil {
 		return err
 	}
 	cfg := eval.Config{Sys: sys, Axes: axes, ReduceAxes: red, Algo: algo, Algos: algos, Bytes: *c.bytes}
@@ -319,6 +365,9 @@ func cmdExport(args []string, out io.Writer) error {
 	if err := c.requireNoStats(); err != nil {
 		return err
 	}
+	if err := c.requireNoMeasure(`"export" (its sweeps always measure every program)`); err != nil {
+		return err
+	}
 	return c.profiled(func() error {
 		r, err := eval.Run(eval.Config{Sys: sys, Axes: axes, ReduceAxes: red, Algo: algo, Algos: algos, Bytes: *c.bytes})
 		if err != nil {
@@ -355,10 +404,13 @@ func cmdHLO(args []string, out io.Writer) error {
 		return err
 	}
 	if *progStr != "" {
-		// With an explicit program nothing is planned, so the payload
-		// cannot influence the emitted HLO (element count comes from
-		// -elems).
+		// With an explicit program nothing is planned, so neither the
+		// payload nor a measured mode can influence the emitted HLO
+		// (element count comes from -elems).
 		if err := c.requireNoBytes(`"hlo -program" (use -elems for the HLO shape)`); err != nil {
+			return err
+		}
+		if err := c.requireNoMeasure(`"hlo -program" (nothing is planned)`); err != nil {
 			return err
 		}
 	}
@@ -415,6 +467,9 @@ func cmdVerify(args []string, out io.Writer) error {
 		return err
 	}
 	if err := c.requireNoBytes(`"verify" (it executes on small concrete data)`); err != nil {
+		return err
+	}
+	if err := c.requireNoMeasure(`"verify" (it executes on small concrete data)`); err != nil {
 		return err
 	}
 	return c.profiled(func() error {
@@ -546,6 +601,9 @@ func cmdTables(args []string, out io.Writer) error {
 	if err := c.requireNoBytes(`"tables" (paper tables use the paper's payload)`); err != nil {
 		return err
 	}
+	if err := c.requireNoMeasure(`"tables" (paper tables already measure every program)`); err != nil {
+		return err
+	}
 	return c.profiled(func() error {
 		return runTables(c, out, *table, *tsv)
 	})
@@ -632,18 +690,44 @@ func cmdAccuracy(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("accuracy", flag.ContinueOnError)
 	fs.SetOutput(out)
 	tsv := fs.Bool("tsv", false, "emit TSV instead of markdown")
+	pinnedOnly := fs.Bool("pinned-only", false, "skip the auto-mode sweeps (Ring/Tree rows only; roughly halves the runtime)")
+	jsonOut := fs.Bool("json", false, "emit the auto-mode sweeps as JSON (predicted/measured best per sweep, per-system accuracy and disagreement rate) instead of the table")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var all []*eval.Result
+	if *jsonOut && *pinnedOnly {
+		return fmt.Errorf("-json exports the auto-mode sweeps; it cannot be combined with -pinned-only")
+	}
+	if *jsonOut && *tsv {
+		return fmt.Errorf("-json replaces the table output; it cannot be combined with -tsv")
+	}
+	var all, autos []*eval.Result
 	for _, s := range eval.PaperSuites() {
+		if !*pinnedOnly {
+			auto, err := eval.RunSuiteAuto(s)
+			if err != nil {
+				return err
+			}
+			autos = append(autos, auto...)
+		}
+		if *jsonOut {
+			continue // the JSON export covers only the auto sweeps
+		}
 		rs, err := eval.RunSuite(s, []cost.Algorithm{cost.Ring, cost.Tree})
 		if err != nil {
 			return err
 		}
 		all = append(all, rs...)
 	}
-	emit(out, eval.BuildTable5(all), *tsv)
+	if *jsonOut {
+		data, err := eval.AutoSuiteToJSON(autos)
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(append(data, '\n'))
+		return err
+	}
+	emit(out, eval.BuildTable5(append(all, autos...)), *tsv)
 	return nil
 }
 

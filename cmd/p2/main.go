@@ -8,6 +8,7 @@
 //	p2 placements -system a100 -nodes 4 -axes "[4 16]"
 //	p2 synth      -system a100 -nodes 4 -axes "[4 16]" -reduce "[0]" [-matrix "[[2 2] [2 8]]"] [-algo auto]
 //	p2 synth      -system superpod:4x8 -axes "[16 16]" -reduce "[0]" -topk 5 -stats [-bytes 1e9] [-cpuprofile plan.prof]
+//	p2 synth      -system superpod:4x8 -axes "[16 16]" -reduce "[0]" -topk 5 -measure rerank   # emulator re-ranked top-K
 //	p2 eval       -system a100 -nodes 4 -axes "[4 16]" -reduce "[0]" -algo Ring
 //	p2 eval       -system a100 -nodes 4 -axes "[4 16]" -reduce "[0]" -algo auto   # search NCCL_ALGO per step
 //	p2 export     -system a100 -nodes 4 -axes "[4 16]" -reduce "[0]" -algo Ring   # JSON
@@ -77,6 +78,8 @@ func usage(w io.Writer) {
 commands:
   placements  enumerate parallelism matrices for an axis configuration
   synth       synthesize reduction programs and rank them by predicted time
+              (-measure rerank re-ranks the analytic top-K on the emulator,
+              -measure rank-all ranks every candidate by measured time)
   eval        full sweep: synthesize, predict, measure, report per matrix
               (-algo auto searches the per-step NCCL algorithm and reports
               where it beats pinned Ring/Tree)
@@ -86,5 +89,8 @@ commands:
   trace       emulate one strategy and emit a Chrome trace of its transfers
   tables      regenerate the paper's Table 3, Table 4 or the appendix table
   figure11    regenerate a Figure 11 panel (-chart for an ASCII plot)
-  accuracy    regenerate Table 5 (top-k prediction accuracy, full suite)`)
+  accuracy    regenerate Table 5 (top-k prediction accuracy, full suite)
+              extended with auto-mode rows and the analytic-vs-measured
+              disagreement rate (-pinned-only for the Ring/Tree rows
+              alone, -json for the auto-sweep export)`)
 }

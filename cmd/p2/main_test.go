@@ -100,6 +100,69 @@ func TestSynthParallelismAndTopK(t *testing.T) {
 	}
 }
 
+func TestSynthMeasureRerankDeterministic(t *testing.T) {
+	// Measured re-ranking must not depend on the worker count: the
+	// emulator and the tie order are pure functions of the request.
+	args := func(par string) []string {
+		return []string{"synth", "-system", "a100", "-nodes", "2",
+			"-axes", "[4 8]", "-reduce", "[0]", "-topk", "5",
+			"-measure", "rerank", "-parallelism", par}
+	}
+	ref, errOut, code := exec(args("1")...)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(ref, "fastest measured first") || !strings.Contains(ref, "meas") {
+		t.Errorf("measured header/column missing:\n%s", ref)
+	}
+	for _, par := range []string{"4", "16"} {
+		got, errOut, code := exec(args(par)...)
+		if code != 0 {
+			t.Fatalf("exit %d: %s", code, errOut)
+		}
+		if got != ref {
+			t.Errorf("-parallelism %s re-ranked output differs from -parallelism 1:\n%s\nvs\n%s", par, got, ref)
+		}
+	}
+}
+
+func TestSynthMeasureRankAllPrefix(t *testing.T) {
+	// rank-all -topk K must return the first K entries of the full
+	// measured ranking.
+	full, errOut, code := exec("synth", "-system", "a100", "-nodes", "2",
+		"-axes", "[4 8]", "-reduce", "[0]", "-measure", "rank-all", "-top", "5")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	topk, errOut, code := exec("synth", "-system", "a100", "-nodes", "2",
+		"-axes", "[4 8]", "-reduce", "[0]", "-measure", "rank-all", "-topk", "5", "-top", "5")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	fullLines := strings.SplitN(full, "\n", 2)
+	topkLines := strings.SplitN(topk, "\n", 2)
+	if topkLines[1] != fullLines[1] {
+		t.Errorf("rank-all -topk 5 differs from full measured ranking prefix:\n%s\nvs\n%s",
+			topkLines[1], fullLines[1])
+	}
+}
+
+func TestMeasureBadMode(t *testing.T) {
+	_, errOut, code := exec("synth", "-system", "a100", "-nodes", "2",
+		"-axes", "[4 8]", "-reduce", "[0]", "-measure", "bogus")
+	if code != 1 || !strings.Contains(errOut, "unknown -measure mode") {
+		t.Errorf("exit=%d err=%q", code, errOut)
+	}
+}
+
+func TestEvalRejectsMeasure(t *testing.T) {
+	_, errOut, code := exec("eval", "-system", "a100", "-nodes", "2",
+		"-axes", "[4 8]", "-reduce", "[0]", "-measure", "rerank")
+	if code != 1 || !strings.Contains(errOut, "-measure has no effect") {
+		t.Errorf("exit=%d err=%q", code, errOut)
+	}
+}
+
 func TestSynthWithMatrix(t *testing.T) {
 	out, _, code := exec("synth", "-system", "a100", "-nodes", "2",
 		"-axes", "[4 8]", "-reduce", "[0]", "-matrix", "[[2 2] [1 8]]", "-top", "0")

@@ -7,6 +7,7 @@ package p2_test
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"testing"
 
@@ -15,12 +16,13 @@ import (
 
 // planFingerprint renders a ranking byte-exactly: placement, program,
 // per-step algorithm assignment and the raw float64 bits of the
-// prediction, one strategy per line.
+// prediction and the measurement (zero unless the plan ran in a measured
+// mode), one strategy per line.
 func planFingerprint(res *p2.PlanResult) string {
 	var b strings.Builder
 	for _, s := range res.Strategies {
-		fmt.Fprintf(&b, "%v|%v|%s|%016x\n", s.Matrix, s.Program, s.AlgoString(),
-			math.Float64bits(s.Predicted))
+		fmt.Fprintf(&b, "%v|%v|%s|%016x|%016x\n", s.Matrix, s.Program, s.AlgoString(),
+			math.Float64bits(s.Predicted), math.Float64bits(s.Measured))
 	}
 	return b.String()
 }
@@ -28,14 +30,39 @@ func planFingerprint(res *p2.PlanResult) string {
 func jointFingerprint(jp *p2.JointPlan) string {
 	var b strings.Builder
 	for _, c := range jp.Choices {
-		fmt.Fprintf(&b, "%v|%016x", c.Matrix, math.Float64bits(c.Total))
+		fmt.Fprintf(&b, "%v|%016x|%016x", c.Matrix, math.Float64bits(c.Total),
+			math.Float64bits(c.MeasuredTotal))
 		for i, s := range c.PerReduction {
-			fmt.Fprintf(&b, "|%v[%s]@%016x*%016x", s.Program, s.AlgoString(),
-				math.Float64bits(s.Predicted), math.Float64bits(c.Costs[i]))
+			fmt.Fprintf(&b, "|%v[%s]@%016x*%016x~%016x", s.Program, s.AlgoString(),
+				math.Float64bits(s.Predicted), math.Float64bits(c.Costs[i]),
+				math.Float64bits(s.Measured))
 		}
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// measuredReference builds the expected result of a measured plan from
+// the serial analytic ranking: truncate to the analytic top-K (0 = all),
+// measure every survivor on the emulator, stable-sort by measured time
+// (so analytic order breaks measured ties), and truncate to finalK (for
+// rank-all, where truncation happens after the measured sort).
+func measuredReference(serial *p2.PlanResult, analyticK, finalK int, opts p2.SimOptions) *p2.PlanResult {
+	n := len(serial.Strategies)
+	if analyticK > 0 && analyticK < n {
+		n = analyticK
+	}
+	kept := make([]*p2.Strategy, n)
+	for i, s := range serial.Strategies[:n] {
+		c := *s
+		c.Measured = s.MeasureWith(opts)
+		kept[i] = &c
+	}
+	sort.SliceStable(kept, func(i, j int) bool { return kept[i].Measured < kept[j].Measured })
+	if finalK > 0 && finalK < len(kept) {
+		kept = kept[:finalK]
+	}
+	return &p2.PlanResult{Strategies: kept}
 }
 
 var determinismCases = []struct {
@@ -220,6 +247,142 @@ func TestPlanPrunedMatchesSerial(t *testing.T) {
 				t.Fatal("empty serial ranking")
 			}
 		})
+	}
+}
+
+// TestPlanRerankDeterministic is the determinism contract of the
+// measured re-rank stage: at TopK {1, 5} × parallelism {1, 4, 16}, the
+// re-ranked result must be byte-identical to the serial reference —
+// the analytic top-K, measured on the emulator and stably re-sorted by
+// measured time — including the raw float bits of both the predictions
+// and the measurements.
+func TestPlanRerankDeterministic(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		sys   *p2.System
+		axes  []int
+		red   []int
+		algos []p2.Algorithm
+	}{
+		{"a100-4-auto", p2.A100System(4), []int{4, 16}, []int{0}, p2.ExtendedAlgorithms},
+		{"superpod-2x4", p2.SuperPodSystem(2, 4), []int{8, 8}, []int{0}, nil},
+		// Residual halving-doubling groups must re-rank deterministically
+		// too (the emulator's fold/core/unfold schedule is exercised).
+		{"superpod-3x4-auto", p2.SuperPodSystem(3, 4), []int{12, 8}, []int{0}, p2.ExtendedAlgorithms},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			serial, err := p2.PlanSerial(tc.sys, p2.Request{Axes: tc.axes, ReduceAxes: tc.red, Algos: tc.algos})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{1, 5} {
+				want := planFingerprint(measuredReference(serial, k, 0, p2.SimOptions{}))
+				for _, par := range []int{1, 4, 16} {
+					got, err := p2.Plan(tc.sys, p2.Request{Axes: tc.axes, ReduceAxes: tc.red,
+						Algos: tc.algos, TopK: k, Parallelism: par, Measure: p2.MeasureRerank})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if g := planFingerprint(got); g != want {
+						t.Errorf("TopK=%d parallelism=%d: re-ranked result differs from serial reference:\ngot:\n%swant:\n%s",
+							k, par, g, want)
+					}
+					if got.Stats.MeasuredCandidates != k {
+						t.Errorf("TopK=%d parallelism=%d: measured %d candidates, want %d",
+							k, par, got.Stats.MeasuredCandidates, k)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPlanRankAllMatchesBruteForce: rank-all must order the entire
+// candidate space by measured time — byte-identical to measuring every
+// strategy of the serial analytic ranking and stably re-sorting — and a
+// rank-all TopK must be an exact prefix of that measured ranking (which
+// a re-ranked analytic TopK is generally not: pruning happens before
+// measurement there).
+func TestPlanRankAllMatchesBruteForce(t *testing.T) {
+	sys := p2.A100System(2)
+	req := p2.Request{Axes: []int{2, 16}, ReduceAxes: []int{0}, Algos: p2.ExtendedAlgorithms}
+	serial, err := p2.PlanSerial(sys, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := measuredReference(serial, 0, 0, p2.SimOptions{})
+	for _, k := range []int{0, 5} {
+		want := planFingerprint(measuredReference(serial, 0, k, p2.SimOptions{}))
+		for _, par := range []int{1, 4} {
+			r := req
+			r.TopK, r.Parallelism, r.Measure = k, par, p2.MeasureRankAll
+			got, err := p2.Plan(sys, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g := planFingerprint(got); g != want {
+				t.Errorf("rank-all TopK=%d parallelism=%d differs from measured brute force:\ngot:\n%swant:\n%s",
+					k, par, g, want)
+			}
+			// Every candidate must have been measured, even under TopK.
+			if got.Stats.MeasuredCandidates != len(full.Strategies) {
+				t.Errorf("rank-all TopK=%d measured %d candidates, want %d",
+					k, got.Stats.MeasuredCandidates, len(full.Strategies))
+			}
+			if got.Stats.PrunedPlacements != 0 || got.Stats.PrunedPrograms != 0 {
+				t.Errorf("rank-all pruned analytic work: %+v", got.Stats)
+			}
+		}
+	}
+}
+
+// TestPlanJointRerankDeterministic: measured joint planning re-sorts the
+// placements by summed weighted emulated time, byte-identically at every
+// parallelism level to the serial reference (measure each placement's
+// per-reduction winners, weight, stable-sort).
+func TestPlanJointRerankDeterministic(t *testing.T) {
+	sys := p2.SuperPodSystem(2, 4)
+	axes := []int{8, 8}
+	reductions := []p2.Reduction{
+		{ReduceAxes: []int{0}, Bytes: 1 << 30},
+		{ReduceAxes: []int{1}, Bytes: 1 << 26, Count: 48, Algos: p2.ExtendedAlgorithms},
+	}
+	serial, err := p2.PlanJointSerial(sys, axes, reductions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial reference: measure, weight, stable-sort by measured total.
+	ref := make([]*p2.JointChoice, len(serial.Choices))
+	for i, c := range serial.Choices {
+		cc := *c
+		cc.PerReduction = append([]*p2.Strategy(nil), c.PerReduction...)
+		cc.Measured = make([]float64, len(c.PerReduction))
+		cc.MeasuredTotal = 0
+		for ri, s := range c.PerReduction {
+			ss := *s
+			ss.Measured = s.MeasureWith(p2.SimOptions{})
+			cc.PerReduction[ri] = &ss
+			count := reductions[ri].Count
+			if count <= 0 {
+				count = 1
+			}
+			cc.Measured[ri] = count * ss.Measured
+			cc.MeasuredTotal += cc.Measured[ri]
+		}
+		ref[i] = &cc
+	}
+	sort.SliceStable(ref, func(i, j int) bool { return ref[i].MeasuredTotal < ref[j].MeasuredTotal })
+	want := jointFingerprint(&p2.JointPlan{Choices: ref})
+	for _, par := range []int{1, 4, 16} {
+		got, err := p2.PlanJointOpts(sys, axes, reductions,
+			p2.JointOptions{Parallelism: par, Measure: p2.MeasureRerank})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g := jointFingerprint(got); g != want {
+			t.Errorf("parallelism %d: measured joint ranking differs from serial reference:\ngot:\n%swant:\n%s",
+				par, g, want)
+		}
 	}
 }
 

@@ -4,12 +4,14 @@
 //
 // It enumerates the parallelism placements of Fig. 2, then synthesizes the
 // reduction strategies of Fig. 3 for the Fig. 2d placement and ranks them
-// with the analytic cost model.
+// with the analytic cost model — or, with -measure, measured-in-the-loop:
+// the analytic ranking is re-ordered by the network emulator.
 //
-// Run with: go run ./examples/quickstart
+// Run with: go run ./examples/quickstart [-measure rerank|rank-all]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -17,6 +19,13 @@ import (
 )
 
 func main() {
+	measureFlag := flag.String("measure", "off", "measured-in-the-loop planning: off (analytic only), rerank (re-rank the analytic ranking on the emulator) or rank-all (rank every candidate by measured time)")
+	flag.Parse()
+	measure, err := p2.ParseMeasureMode(*measureFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	sys := p2.Fig2aSystem()
 	fmt.Println("system:", sys)
 
@@ -42,13 +51,24 @@ func main() {
 		ReduceAxes: []int{1},
 		Matrix:     fig2d,
 		Bytes:      512e6, // 512 MB of gradients per device
+		Measure:    measure,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nreduction strategies for %v (reduce axis 1), fastest first:\n", fig2d)
-	for i, s := range plan.Strategies {
-		fmt.Printf("  %2d: %8.2f ms  %v\n", i+1, s.Predicted*1e3, s.Program)
+	if measure != p2.MeasureOff {
+		fmt.Printf("\nreduction strategies for %v (reduce axis 1), fastest measured first:\n", fig2d)
+		for i, s := range plan.Strategies {
+			fmt.Printf("  %2d: %8.2f ms measured (%8.2f ms predicted)  %v\n",
+				i+1, s.Measured*1e3, s.Predicted*1e3, s.Program)
+		}
+		fmt.Printf("\nemulated %d candidates, %d analytic-vs-measured rank inversions\n",
+			plan.Stats.MeasuredCandidates, plan.Stats.RankInversions)
+	} else {
+		fmt.Printf("\nreduction strategies for %v (reduce axis 1), fastest first:\n", fig2d)
+		for i, s := range plan.Strategies {
+			fmt.Printf("  %2d: %8.2f ms  %v\n", i+1, s.Predicted*1e3, s.Program)
+		}
 	}
 
 	// Step 3 — compare the best strategy against the plain AllReduce on

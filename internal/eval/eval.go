@@ -4,7 +4,9 @@
 // predicts each program's runtime with the analytic model (internal/cost)
 // and "measures" it on the event-level emulator (internal/netsim), then
 // derives the quantities the paper reports — optimal programs, speedups
-// over AllReduce, outperforming counts, and simulator top-k accuracy.
+// over AllReduce, outperforming counts, and simulator top-k accuracy —
+// plus, beyond the paper, the auto-mode (per-step NCCL_ALGO search)
+// suites and their analytic-vs-measured disagreement rate (autosuite.go).
 package eval
 
 import (
@@ -25,10 +27,14 @@ import (
 // Config is one experiment cell: a system, an axis configuration, the
 // reduction axes, and the NCCL algorithm.
 type Config struct {
-	Sys        *topology.System
+	// Sys is the system swept.
+	Sys *topology.System
+	// Axes are the parallelism axis sizes (their product must equal the
+	// device count) and ReduceAxes the axis indices reduced over.
 	Axes       []int
 	ReduceAxes []int
-	Algo       cost.Algorithm
+	// Algo is the pinned NCCL algorithm (ignored when Algos sweeps a set).
+	Algo cost.Algorithm
 	// Algos, when it has two or more entries, sweeps the per-step
 	// algorithm assignment of every program over the set ("auto" mode,
 	// NCCL_ALGO as a searched dimension): each step is predicted and
@@ -165,6 +171,8 @@ func (mr *MatrixResult) Outperforming() int {
 
 // Result is a full sweep for one config.
 type Result struct {
+	// Config echoes the swept cell; Matrices holds one entry per
+	// enumerated placement, in enumeration order.
 	Config   Config
 	Matrices []*MatrixResult
 	// SynthesisTime is the summed synthesis wall-clock across matrices.
@@ -195,10 +203,13 @@ func (r *Result) TotalOutperforming() int {
 
 // Pair is a flattened (matrix, program) entry used for ranking.
 type Pair struct {
+	// MatrixIdx / ProgramIdx index into Result.Matrices and its Programs.
 	MatrixIdx  int
 	ProgramIdx int
-	Predicted  float64
-	Measured   float64
+	// Predicted and Measured are the candidate's analytic and emulated
+	// runtimes in seconds.
+	Predicted float64
+	Measured  float64
 }
 
 // Pairs flattens the sweep into ranking entries.

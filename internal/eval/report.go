@@ -203,37 +203,75 @@ func BuildAutoComparison(ring, tree, auto *Result) *Table {
 	return t
 }
 
-// BuildTable5 reproduces Table 5: top-k accuracy of the analytic simulator
-// against emulator measurements, per system and total.
+// BuildTable5 reproduces (and extends) Table 5: top-k accuracy of the
+// analytic simulator against emulator measurements, grouped by system and
+// algorithm mode — pinned rows as in the paper, plus an "auto" row per
+// system when auto-mode sweeps (RunSuiteAuto) are included — with the
+// mean predicted and measured best times and the analytic-vs-measured
+// disagreement rate (the fraction of sweeps whose predicted argmin is not
+// the measured argmin, i.e. 100% − Top-1), followed by one Total row per
+// algorithm mode.
 func BuildTable5(results []*Result) *Table {
 	ks := []int{1, 2, 3, 5, 6, 10}
 	t := &Table{
-		Caption: "Table 5 — analytic-simulator prediction accuracy (fraction of sweeps whose measured-best program is in the top-k predictions)",
-		Header:  []string{"System", "Top-1", "Top-2", "Top-3", "Top-5", "Top-6", "Top-10", "Sweeps"},
+		Caption: "Table 5 — analytic-simulator prediction accuracy (fraction of sweeps whose measured-best program is in the top-k predictions), with mean best-candidate times and the analytic-vs-measured disagreement rate",
+		Header: []string{"System", "Algo", "Top-1", "Top-2", "Top-3", "Top-5", "Top-6", "Top-10",
+			"Pred best (s)", "Meas best (s)", "Disagree", "Sweeps"},
 	}
-	bySys := map[string][]*Result{}
-	var names []string
+	type key struct{ sys, algo string }
+	groups := map[key][]*Result{}
+	var keys []key
+	algoSeen := map[string]bool{}
+	var algos []string
 	for _, r := range results {
-		n := r.Config.Sys.Name
-		if _, ok := bySys[n]; !ok {
-			names = append(names, n)
+		k := key{r.Config.Sys.Name, r.Config.algoLabel()}
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
 		}
-		bySys[n] = append(bySys[n], r)
+		groups[k] = append(groups[k], r)
+		if !algoSeen[k.algo] {
+			algoSeen[k.algo] = true
+			algos = append(algos, k.algo)
+		}
 	}
-	sort.Strings(names)
-	addRow := func(name string, rs []*Result) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].sys != keys[j].sys {
+			return keys[i].sys < keys[j].sys
+		}
+		return keys[i].algo < keys[j].algo
+	})
+	addRow := func(sys, algo string, rs []*Result) {
 		acc := Accuracy(rs, ks)
-		row := []string{name}
+		row := []string{sys, algo}
 		for _, k := range ks {
 			row = append(row, fmt.Sprintf("%.1f%%", 100*acc[k]))
 		}
-		row = append(row, fmt.Sprintf("%d", len(rs)))
+		pred, meas := 0.0, 0.0
+		for _, r := range rs {
+			pred += r.PredictedBest().Predicted
+			meas += r.MeasuredBest().Measured
+		}
+		n := float64(len(rs))
+		row = append(row,
+			secs(pred/n),
+			secs(meas/n),
+			fmt.Sprintf("%.1f%%", 100*DisagreementRate(rs)),
+			fmt.Sprintf("%d", len(rs)))
 		t.Rows = append(t.Rows, row)
 	}
-	for _, n := range names {
-		addRow(n, bySys[n])
+	for _, k := range keys {
+		addRow(k.sys, k.algo, groups[k])
 	}
-	addRow("Total", results)
+	sort.Strings(algos)
+	for _, algo := range algos {
+		var rs []*Result
+		for _, r := range results {
+			if r.Config.algoLabel() == algo {
+				rs = append(rs, r)
+			}
+		}
+		addRow("Total", algo, rs)
+	}
 	return t
 }
 

@@ -11,8 +11,14 @@ import (
 // ConcurrentSpec pairs a program with its own payload size and algorithm
 // (zero values inherit the simulator's).
 type ConcurrentSpec struct {
+	// Program is the lowered program this lane executes.
 	Program *lower.Program
-	Bytes   float64
+	// Bytes is the per-device payload; <= 0 inherits the simulator's.
+	Bytes float64
+	// Algo is the lane's algorithm, honored only with HasAlgo set —
+	// the explicit-set marker exists because the zero Algorithm value is
+	// a valid algorithm (Ring), so a zero Algo alone cannot distinguish
+	// "inherit" from "pin Ring".
 	Algo    cost.Algorithm
 	HasAlgo bool
 	// StepAlgos, when non-nil, assigns a per-step algorithm (one entry

@@ -101,10 +101,15 @@ type Event struct {
 
 // Simulator measures lowered programs on one system/algorithm/payload.
 type Simulator struct {
-	Sys   *topology.System
-	Algo  cost.Algorithm
+	// Sys is the topology the transfers contend on.
+	Sys *topology.System
+	// Algo is the algorithm every step runs unless a per-step assignment
+	// (MeasureSteps) overrides it.
+	Algo cost.Algorithm
+	// Bytes is the per-device payload in bytes.
 	Bytes float64
-	Opts  Options
+	// Opts tunes emulator fidelity (zero value = defaults).
+	Opts Options
 	// Recorder, when non-nil, receives every completed transfer. It is
 	// called in completion order with monotonically non-decreasing End
 	// timestamps.

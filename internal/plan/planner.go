@@ -36,6 +36,7 @@ import (
 	"p2/internal/dsl"
 	"p2/internal/hierarchy"
 	"p2/internal/lower"
+	"p2/internal/netsim"
 	"p2/internal/placement"
 	"p2/internal/synth"
 	"p2/internal/topology"
@@ -62,6 +63,17 @@ type Options struct {
 	// Empty or single-entry slices pin every step to the model's (resp.
 	// the single) algorithm, exactly as before the search existed.
 	Algos []cost.Algorithm
+	// Rerank selects measured-in-the-loop planning: with RerankTopK the
+	// analytic top-K survivors are measured on the netsim emulator and
+	// re-sorted by measured time; with RerankAll every candidate is
+	// measured (which disables top-K pruning in the analytic stage, since
+	// analytic bounds cannot cut a measured ranking). RerankOff keeps the
+	// purely analytic ranking. See rerank.go for the determinism contract.
+	Rerank RerankMode
+	// SimOpts tunes the emulator used by the re-rank stage (noise, launch
+	// overhead, fusion and cross-domain toggles); the zero value is the
+	// emulator's defaults. Ignored with Rerank == RerankOff.
+	SimOpts netsim.Options
 }
 
 // workers resolves the worker-pool size.
@@ -82,6 +94,10 @@ type Candidate struct {
 	Program   dsl.Program
 	Lowered   *lower.Program
 	Predicted float64
+	// Measured is the emulated runtime in seconds, filled by the re-rank
+	// stage of a measured-in-the-loop run (Options.Rerank); 0 in purely
+	// analytic runs.
+	Measured float64
 	// StepAlgos is the winning per-step algorithm assignment (one entry
 	// per lowered step) when Options.Algos enabled the search; nil when
 	// the run was pinned to a single algorithm.
@@ -128,6 +144,18 @@ type Stats struct {
 	// BoundTightenings counts successful tightenings of the shared
 	// threshold (each one makes subsequent pruning more aggressive).
 	BoundTightenings int
+	// MeasuredCandidates counts emulator runs performed by the re-rank
+	// stage of a measured-in-the-loop run (Options.Rerank): the analytic
+	// survivors for RerankTopK, the full candidate space for RerankAll —
+	// and, in joint runs, one per (kept placement, reduction). 0 in
+	// purely analytic runs.
+	MeasuredCandidates int
+	// RankInversions counts the candidate pairs the analytic and measured
+	// rankings order differently (the Kendall-tau distance over the
+	// measured candidates) — the run's analytic-vs-measured disagreement.
+	// Unlike the pruning counters, it is deterministic: both rankings are
+	// pure functions of the request.
+	RankInversions int
 }
 
 // Planner runs planning requests, sharing a synthesis memo across the
@@ -481,17 +509,33 @@ func sliceStream(matrices []*placement.Matrix) func(func(*placement.Matrix) bool
 // enumeration order and the engine feeds them to the worker pool as they
 // appear, so the full placement set never resides in memory. The ranking
 // is identical to Run over the materialized equivalent.
+//
+// With Options.Rerank set, the analytic ranking is then measured on the
+// emulator and re-sorted by measured time (rerank.go); RerankAll runs the
+// analytic stage unpruned so that every candidate exists to be measured,
+// and truncates to TopK only after the measured sort.
 func (p *Planner) RunStream(stream func(func(*placement.Matrix) bool) error, reduceAxes []int, model *cost.Model, opts Options) ([]*Candidate, Stats, error) {
+	runOpts := opts
+	if opts.Rerank == RerankAll {
+		runOpts.TopK = 0
+	}
 	var rc runCounters
 	thr := newThreshold()
-	perWorker, produced, err := fanOut(opts, stream, func(ws *workerState, mi int, m *placement.Matrix, emit func(*Candidate)) error {
-		return p.planMatrix(ws, mi, m, reduceAxes, model, opts, &rc, thr, emit)
+	perWorker, produced, err := fanOut(runOpts, stream, func(ws *workerState, mi int, m *placement.Matrix, emit func(*Candidate)) error {
+		return p.planMatrix(ws, mi, m, reduceAxes, model, runOpts, &rc, thr, emit)
 	}, Less, func(c *Candidate) float64 { return c.Predicted }, thr)
 	stats := rc.stats(produced, thr)
 	if err != nil {
 		return nil, stats, err
 	}
-	return mergeRanked(perWorker, opts.TopK, Less), stats, nil
+	cands := mergeRanked(perWorker, runOpts.TopK, Less)
+	if opts.Rerank != RerankOff {
+		rerank(cands, model, opts, &stats)
+		if opts.TopK > 0 && len(cands) > opts.TopK {
+			cands = cands[:opts.TopK]
+		}
+	}
+	return cands, stats, nil
 }
 
 // JointSpec describes one recurring reduction of a joint request.
@@ -540,6 +584,12 @@ type JointCandidate struct {
 	PerReduction []*Candidate
 	Costs        []float64
 	Total        float64
+	// Measured mirrors Costs with emulated seconds — Measured[i] is
+	// weight_i × the emulated time of PerReduction[i] — and MeasuredTotal
+	// their sum, filled by the re-rank stage of a measured-in-the-loop
+	// run (Options.Rerank); nil/0 in purely analytic runs.
+	Measured      []float64
+	MeasuredTotal float64
 }
 
 // jointLess orders joint candidates by total, breaking ties by placement
@@ -558,6 +608,7 @@ type ErrNoPrograms struct {
 	Matrix     *placement.Matrix
 }
 
+// Error formats the failure with its reduction axes and placement.
 func (e *ErrNoPrograms) Error() string {
 	return fmt.Sprintf("plan: no valid programs for reduction axes %v on matrix %v", e.ReduceAxes, e.Matrix)
 }
@@ -609,7 +660,16 @@ func (p *Planner) bestForReduction(ws *workerState, mi int, m *placement.Matrix,
 // summed per-reduction lower bounds exceed the shared total threshold are
 // skipped before any synthesis. The result is sorted by (Total,
 // MatrixIdx) and truncated to TopK placements when set.
+//
+// With Options.Rerank set, the kept placements' per-reduction winners are
+// measured on the emulator and the placements re-sorted by summed
+// weighted measured time (rerank.go); RerankAll disables the placement
+// top-K during the analytic stage and truncates after the measured sort.
 func (p *Planner) RunJoint(matrices []*placement.Matrix, reds []JointSpec, opts Options) ([]*JointCandidate, Stats, error) {
+	mode, finalTopK := opts.Rerank, opts.TopK
+	if mode == RerankAll {
+		opts.TopK = 0 // measured rank-all needs every placement materialized
+	}
 	var rc runCounters
 	thr := newThreshold()
 	prune := opts.TopK > 0
@@ -671,7 +731,14 @@ func (p *Planner) RunJoint(matrices []*placement.Matrix, reds []JointSpec, opts 
 	if err != nil {
 		return nil, stats, err
 	}
-	return mergeRanked(perWorker, opts.TopK, jointLess), stats, nil
+	jcs := mergeRanked(perWorker, opts.TopK, jointLess)
+	if mode != RerankOff {
+		rerankJoint(jcs, reds, opts, &stats)
+		if finalTopK > 0 && len(jcs) > finalTopK {
+			jcs = jcs[:finalTopK]
+		}
+	}
+	return jcs, stats, nil
 }
 
 // errRecorder tracks the lowest-indexed failure of a run. Once any item

@@ -34,6 +34,7 @@ type Reduction struct {
 // JointChoice is the outcome for one placement: the best strategy per
 // reduction and the weighted total communication time per step.
 type JointChoice struct {
+	// Matrix is the placement this choice scores.
 	Matrix *Matrix
 	// PerReduction[i] is the fastest-predicted strategy for reductions[i]
 	// under this placement.
@@ -42,6 +43,13 @@ type JointChoice struct {
 	Costs []float64
 	// Total is the summed per-step communication time.
 	Total float64
+	// Measured mirrors Costs with emulated seconds — Measured[i] is
+	// Count_i × the emulated time of PerReduction[i] (whose raw value is
+	// PerReduction[i].Measured) — and MeasuredTotal their sum, when the
+	// joint plan ran in a measured mode (JointOptions.Measure); nil/0 in
+	// purely analytic plans.
+	Measured      []float64
+	MeasuredTotal float64
 }
 
 // MeasureConcurrent emulates the choice's per-reduction strategies running
@@ -70,17 +78,22 @@ func (c *JointChoice) MeasureConcurrent() []float64 {
 // JointPlan ranks every placement by the combined cost of all requested
 // reductions.
 type JointPlan struct {
-	// Choices are all placements, cheapest total first. With
-	// JointOptions.TopK set, only the K cheapest are present.
+	// Choices are all placements, cheapest predicted total first —
+	// cheapest measured total first when the plan ran in a measured mode
+	// (JointOptions.Measure). With JointOptions.TopK set, only the K
+	// cheapest are present.
 	Choices []*JointChoice
-	System  *System
-	Axes    []int
+	// System and Axes echo the planned request.
+	System *System
+	Axes   []int
 	// Stats reports the planning effort (placements, synthesis runs,
-	// signature-memo hits).
+	// signature-memo hits, candidates scored), the pruning wins with
+	// TopK set, and the emulation effort in measured modes.
 	Stats plan.Stats
 }
 
-// Best returns the placement minimizing total per-step communication.
+// Best returns the placement minimizing total per-step communication
+// (predicted, or measured in measured modes).
 func (jp *JointPlan) Best() *JointChoice { return jp.Choices[0] }
 
 // JointOptions tune joint planning.
@@ -90,6 +103,16 @@ type JointOptions struct {
 	Parallelism int
 	// TopK, when positive, keeps only the K cheapest placements.
 	TopK int
+	// Measure selects measured-in-the-loop placement ranking: with
+	// MeasureRerank the analytic top-K placements' per-reduction winners
+	// are measured on the emulator (each reduction back to back, like
+	// Costs — contrast JointChoice.MeasureConcurrent) and the placements
+	// re-sorted by summed weighted measured time; MeasureRankAll measures
+	// every placement. MeasureOff (the zero value) ranks analytically.
+	Measure MeasureMode
+	// SimOpts tunes the emulator used by measured modes; ignored with
+	// MeasureOff.
+	SimOpts SimOptions
 }
 
 // PlanJoint evaluates every placement of the axes against all reductions
@@ -106,8 +129,10 @@ func PlanJoint(sys *System, axes []int, reductions []Reduction) (*JointPlan, err
 // out over the worker pool and synthesis is memoized by hierarchy
 // signature across both placements and reductions, so e.g. the data- and
 // tensor-parallel reductions of a transformer share synthesis whenever
-// their axis rows induce the same reduction hierarchy. The placement
-// ranking (including tie order) is identical to PlanJointSerial.
+// their axis rows induce the same reduction hierarchy. The analytic
+// placement ranking (including tie order) is identical to
+// PlanJointSerial; measured modes (opts.Measure) re-sort it by emulated
+// totals, equally deterministically.
 func PlanJointOpts(sys *System, axes []int, reductions []Reduction, opts JointOptions) (*JointPlan, error) {
 	if len(reductions) == 0 {
 		return nil, fmt.Errorf("p2: PlanJoint needs at least one reduction")
@@ -137,6 +162,8 @@ func PlanJointOpts(sys *System, axes []int, reductions []Reduction, opts JointOp
 	jcs, stats, err := plan.New().RunJoint(matrices, specs, plan.Options{
 		Parallelism: opts.Parallelism,
 		TopK:        opts.TopK,
+		Rerank:      opts.Measure,
+		SimOpts:     opts.SimOpts,
 	})
 	if err != nil {
 		var noProg *plan.ErrNoPrograms
@@ -148,9 +175,11 @@ func PlanJointOpts(sys *System, axes []int, reductions []Reduction, opts JointOp
 	jp := &JointPlan{System: sys, Axes: axes, Stats: stats}
 	for _, jc := range jcs {
 		choice := &JointChoice{
-			Matrix: jc.Matrix,
-			Costs:  jc.Costs,
-			Total:  jc.Total,
+			Matrix:        jc.Matrix,
+			Costs:         jc.Costs,
+			Total:         jc.Total,
+			Measured:      jc.Measured,
+			MeasuredTotal: jc.MeasuredTotal,
 		}
 		for ri, c := range jc.PerReduction {
 			choice.PerReduction = append(choice.PerReduction,
@@ -162,9 +191,9 @@ func PlanJointOpts(sys *System, axes []int, reductions []Reduction, opts JointOp
 }
 
 // PlanJointSerial is the reference implementation of PlanJoint: one
-// placement at a time, one full serial Plan per (placement, reduction).
-// The parallel engine must reproduce its placement ranking byte for byte
-// (see the equivalence tests).
+// placement at a time, one full serial Plan per (placement, reduction),
+// always analytic (no measured mode). The parallel engine must reproduce
+// its placement ranking byte for byte (see the equivalence tests).
 func PlanJointSerial(sys *System, axes []int, reductions []Reduction) (*JointPlan, error) {
 	if len(reductions) == 0 {
 		return nil, fmt.Errorf("p2: PlanJoint needs at least one reduction")

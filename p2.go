@@ -81,6 +81,36 @@ var (
 	ExtendedAlgorithms = cost.ExtendedAlgorithms
 )
 
+// MeasureMode selects measured-in-the-loop planning (re-exported from the
+// planning engine): whether the analytic ranking is re-ordered by emulated
+// runtimes before it is returned.
+type MeasureMode = plan.RerankMode
+
+// Measured-in-the-loop planning modes for Request.Measure and
+// JointOptions.Measure.
+const (
+	// MeasureOff ranks purely analytically (the default).
+	MeasureOff = plan.RerankOff
+	// MeasureRerank measures the analytic top-K survivors on the network
+	// emulator and re-sorts those K candidates by measured time — the
+	// paper's "measure only a handful of candidates" loop closed: the
+	// analytic stage stays bound-pruned and fast, and the final ranking
+	// is backed by emulation at a cost of K extra emulator runs. With
+	// TopK = 0 every candidate survives, so the mode equals MeasureRankAll.
+	MeasureRerank = plan.RerankTopK
+	// MeasureRankAll measures every candidate and orders the whole
+	// (placement × program) space by measured time — the exhaustive
+	// reference. It disables the analytic stage's top-K pruning (analytic
+	// bounds cannot cut a measured ranking) and costs one emulator run
+	// per candidate.
+	MeasureRankAll = plan.RerankAll
+)
+
+// ParseMeasureMode parses a measured-mode name ("off", "rerank",
+// "rank-all", case-insensitive) as spelled by MeasureMode.String — the
+// shared vocabulary of every -measure CLI flag.
+func ParseMeasureMode(s string) (MeasureMode, error) { return plan.ParseRerankMode(s) }
+
 // NewSystem builds a custom system; levels are ordered root-most first and
 // uplinks align with levels.
 func NewSystem(name string, levels []Level, uplinks []Link) (*System, error) {
@@ -143,15 +173,34 @@ type Request struct {
 	// TopK, when positive, keeps only the K fastest-predicted strategies
 	// — exactly the first K entries of the full ranking — using bounded
 	// per-worker heaps instead of materializing the whole cross-product.
+	// In measured modes (Measure) it bounds the final measured ranking
+	// instead; see MeasureRerank and MeasureRankAll for how each stage
+	// uses it.
 	TopK int
+	// Measure selects measured-in-the-loop planning: MeasureOff (the
+	// zero value) returns the analytic ranking as before; MeasureRerank
+	// re-ranks the analytic top-K on the network emulator; MeasureRankAll
+	// measures every candidate. In measured modes Strategies are ordered
+	// by (and carry) Strategy.Measured, and PlanResult.Stats reports the
+	// emulation effort and the analytic-vs-measured rank inversions.
+	Measure MeasureMode
+	// SimOpts tunes the emulator used by measured planning modes (the
+	// zero value is the emulator defaults); ignored with MeasureOff.
+	SimOpts SimOptions
 }
 
 // Strategy is one candidate (placement, program) pair with its predicted
-// runtime.
+// — and, in measured planning modes, emulated — runtime.
 type Strategy struct {
+	// Matrix is the parallelism placement and Program the reduction
+	// program (in the paper's DSL) of the candidate.
 	Matrix    *Matrix
 	Program   Program
 	Predicted float64 // analytic model estimate, seconds
+	// Measured is the emulated runtime in seconds when the plan ran in a
+	// measured mode (Request.Measure); 0 in purely analytic plans — call
+	// Measure/MeasureWith to emulate on demand.
+	Measured float64
 	// StepAlgos, when non-nil, is the winning per-step algorithm
 	// assignment of a multi-algorithm search (Request.Algos), one entry
 	// per lowered step. nil means every step runs Algo() — including
@@ -225,22 +274,28 @@ func (s *Strategy) String() string {
 		s.Matrix, s.Program, s.AlgoString(), s.Predicted)
 }
 
-// Plan is the ranked synthesis result.
+// PlanResult is the ranked synthesis result of Plan.
 type PlanResult struct {
-	// Strategies are all candidates, fastest predicted first. With
-	// Request.TopK set, only the K fastest are present.
+	// Strategies are all candidates, fastest predicted first — fastest
+	// measured first when the request ran in a measured mode
+	// (Request.Measure), with analytic order breaking measured ties.
+	// With Request.TopK set, only the K fastest are present.
 	Strategies []*Strategy
-	// Request echoes the planned request (with defaults applied).
+	// Request echoes the planned request (with defaults applied), System
+	// the system it planned against.
 	Request Request
 	System  *System
 	// Stats reports the planning effort (placements, synthesis runs,
-	// signature-memo hits, candidates scored) and — with Request.TopK set
-	// — the pruning wins (placements and programs skipped by the
-	// admissible lower bound, threshold tightenings).
+	// signature-memo hits, candidates scored), with Request.TopK the
+	// pruning wins (placements and programs skipped by the admissible
+	// lower bound, threshold tightenings), and in measured modes the
+	// emulation effort (candidates measured, analytic-vs-measured rank
+	// inversions).
 	Stats plan.Stats
 }
 
-// Best returns the fastest-predicted strategy.
+// Best returns the first-ranked strategy: fastest predicted, or fastest
+// measured when the request ran in a measured mode.
 func (p *PlanResult) Best() *Strategy { return p.Strategies[0] }
 
 // BaselineFor returns the single-AllReduce strategy for the given matrix,
@@ -302,6 +357,13 @@ func (req Request) withDefaults(sys *System) Request {
 // provably out-of-top-K work (see PlanResult.Stats). The ranking —
 // including tie order — is identical to PlanSerial for every parallelism
 // level and every TopK.
+//
+// With req.Measure set, planning runs measured-in-the-loop: the analytic
+// ranking is measured on the network emulator and re-sorted by measured
+// time (MeasureRerank re-ranks only the analytic top-K; MeasureRankAll
+// measures everything). Measured rankings are equally deterministic —
+// byte-identical at every parallelism level — because the emulator and
+// the tie order are pure functions of the request.
 func Plan(sys *System, req Request) (*PlanResult, error) {
 	req = req.withDefaults(sys)
 	stream := func(yield func(*placement.Matrix) bool) error {
@@ -318,6 +380,8 @@ func Plan(sys *System, req Request) (*PlanResult, error) {
 		MaxProgramSize: req.MaxProgramSize,
 		Collapse:       len(req.ReduceAxes) > 1,
 		Algos:          req.Algos,
+		Rerank:         req.Measure,
+		SimOpts:        req.SimOpts,
 	})
 	if err != nil {
 		return nil, err
@@ -345,6 +409,7 @@ func strategyFromCandidate(c *plan.Candidate, sys *System, algo Algorithm, bytes
 		Matrix:    c.Matrix,
 		Program:   c.Program,
 		Predicted: c.Predicted,
+		Measured:  c.Measured,
 		StepAlgos: stepAlgos,
 		lowered:   c.Lowered,
 		sys:       sys,
@@ -357,7 +422,8 @@ func strategyFromCandidate(c *plan.Candidate, sys *System, algo Algorithm, bytes
 // time, a fresh synthesis per placement, full materialization, stable
 // sort, and — with req.Algos set — a brute-force per-algorithm sweep over
 // every step of every program (no step-cost memo). It ignores
-// req.Parallelism and req.TopK. The parallel engine is required to
+// req.Parallelism, req.TopK and req.Measure (its ranking is always the
+// full analytic one). The parallel engine is required to
 // reproduce its ranking byte for byte (see the equivalence tests); it
 // exists for exactly that cross-check and for ablation benchmarks of the
 // engine.

@@ -1,0 +1,54 @@
+#!/bin/sh
+# docscheck.sh — documentation consistency checks, run in CI:
+#
+#  1. Every CLI flag mentioned in README.md (a token like `-topk` after a
+#     space, backtick or parenthesis) is actually defined by cmd/p2.
+#  2. DESIGN.md's "Contents" index matches its numbered "## N." section
+#     headers exactly, both ways.
+#
+# Exit status is non-zero on any mismatch, printing what drifted.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. README flags exist in cmd/p2 ---------------------------------------
+# Flags defined anywhere in cmd/p2 (flag.FlagSet String/Int/Bool/Float64
+# declarations).
+defined=$(grep -hoE 'fs\.(String|Int|Bool|Float64)\("[a-z-]+"' cmd/p2/*.go \
+  | sed -E 's/.*"([a-z-]+)"/\1/' | sort -u)
+
+# Flag-looking tokens in the README: "-name" right after start-of-line,
+# whitespace, backtick or '(' — single-letter flags like -o included.
+# Hyphenated prose ("top-k", "rank-all") never matches because its dash
+# is preceded by a letter; list bullets "- " fail the [a-z] after the dash.
+mentioned=$(grep -oE '(^|[[:space:]`(])-[a-z][a-z-]*' README.md \
+  | grep -oE -- '-[a-z][a-z-]*' | sed 's/^-//' | sort -u)
+
+for f in $mentioned; do
+  if ! printf '%s\n' "$defined" | grep -qx "$f"; then
+    echo "docscheck: README.md mentions flag -$f, but cmd/p2 does not define it" >&2
+    fail=1
+  fi
+done
+
+# --- 2. DESIGN.md contents index matches its headers ------------------------
+toc=$(awk '/^## Contents/{inblock=1; next} /^## /{inblock=0} inblock && /^[0-9]+\. /' DESIGN.md)
+headers=$(grep -E '^## [0-9]+\. ' DESIGN.md | sed 's/^## //')
+
+if [ -z "$toc" ]; then
+  echo "docscheck: DESIGN.md has no '## Contents' index" >&2
+  fail=1
+elif [ "$toc" != "$headers" ]; then
+  echo "docscheck: DESIGN.md Contents index and section headers disagree:" >&2
+  echo "--- Contents ---" >&2
+  printf '%s\n' "$toc" >&2
+  echo "--- Headers ----" >&2
+  printf '%s\n' "$headers" >&2
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "docscheck: OK (README flags consistent with cmd/p2; DESIGN.md index matches headers)"
