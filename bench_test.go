@@ -571,6 +571,33 @@ func BenchmarkPlanSuperPod3x4(b *testing.B) {
 	})
 }
 
+// BenchmarkPlanSuperPod3x4Degraded is BenchmarkPlanSuperPod3x4 on a system
+// carrying link overrides: scoring leaves the uniform-link fast path and
+// reads per-entity effective bandwidths/latencies, and the per-entity
+// admissible bound drives the pruning. The delta against the pristine
+// benchmark is the planning cost of heterogeneity.
+func BenchmarkPlanSuperPod3x4Degraded(b *testing.B) {
+	sys := topology.SuperPodSystem(3, 4).MustWithOverrides(
+		topology.Throttle(2, 13, 10), topology.Slow(1, 5, 4))
+	req := p2.Request{Axes: []int{12, 8}, ReduceAxes: []int{0}, Algos: cost.ExtendedAlgorithms}
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p2.Plan(sys, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel-top5", func(b *testing.B) {
+		r := req
+		r.TopK = 5
+		for i := 0; i < b.N; i++ {
+			if _, err := p2.Plan(sys, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkPlanJointEngine compares serial and parallel joint planning
 // (two reductions à la Megatron data × tensor parallelism).
 func BenchmarkPlanJointEngine(b *testing.B) {

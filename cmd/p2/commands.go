@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime/pprof"
 	"strconv"
@@ -729,6 +730,110 @@ func cmdAccuracy(args []string, out io.Writer) error {
 	}
 	emit(out, eval.BuildTable5(append(all, autos...)), *tsv)
 	return nil
+}
+
+// faultList collects repeated -fault flags; each value may itself hold
+// several ';'-separated fault clauses (topology.ParseFaults).
+type faultList []string
+
+func (f *faultList) String() string { return strings.Join(*f, ";") }
+
+func (f *faultList) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+func cmdDegrade(args []string, out io.Writer) error {
+	c := newCommon("degrade", out)
+	var faults faultList
+	c.fs.Var(&faults, "fault", `link fault "LEVEL:ENTITY:EFFECT[,EFFECT...]" — LEVEL a level or uplink name (or index), ENTITY coords like 0/1 (or an entity id, or *), EFFECT one of down, bw*F, bw/F, lat*F, lat/F, loss=F; repeatable, ';' separates clauses`)
+	top := c.fs.Int("top", 10, "show only the N best degraded strategies (0 = all)")
+	tsv := c.fs.Bool("tsv", false, "emit TSV instead of markdown")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	if len(faults) == 0 {
+		return fmt.Errorf(`degrade requires at least one -fault (e.g. -fault "gpu:0/0/0:bw/10")`)
+	}
+	sys, err := c.system()
+	if err != nil {
+		return err
+	}
+	axes, red, algo, algos, err := c.parsed()
+	if err != nil {
+		return err
+	}
+	if err := c.requireNoStats(); err != nil {
+		return err
+	}
+	if err := c.requireNoMeasure(`"degrade" (it compares analytic rankings)`); err != nil {
+		return err
+	}
+	if *c.matrix != "" {
+		return fmt.Errorf("-matrix has no effect on degrade (ranking shift needs the full placement space)")
+	}
+	var overrides []topology.LinkOverride
+	for _, spec := range faults {
+		ovs, err := topology.ParseFaults(sys, spec)
+		if err != nil {
+			return err
+		}
+		overrides = append(overrides, ovs...)
+	}
+	if len(algos) == 0 {
+		algos = []cost.Algorithm{algo}
+	}
+	return c.profiled(func() error {
+		r, err := eval.RunDegrade(eval.DegradeConfig{
+			Sys:         sys,
+			Overrides:   overrides,
+			Axes:        axes,
+			ReduceAxes:  red,
+			Algos:       algos,
+			Bytes:       *c.bytes,
+			Parallelism: *c.parallelism,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "system %s %v with %d link override(s), axes %v, reduce %v: %d candidates\n",
+			sys.Name, sys.Hierarchy(), len(overrides), axes, red, len(r.PristineRank))
+		fmt.Fprintf(out, "ranking shift: %d of %d pairs flipped (tau-distance %.4f)\n",
+			r.Inversions, r.MaxPairs, r.Tau)
+		pb, db := r.PristineRank[0], r.DegradedRank[0]
+		if r.BestShifted {
+			fmt.Fprintf(out, "best strategy shifted: pristine winner %v via %v now costs %s; re-planning picks %v via %v at %s (%s)\n",
+				pb.Matrix, pb.Program, degradeTime(r.StaleTime),
+				db.Matrix, db.Program, degradeTime(r.ReplanTime),
+				replanGain(r.ReplanSpeedup))
+		} else {
+			fmt.Fprintf(out, "best strategy unchanged: %v via %v (%s pristine, %s degraded)\n",
+				pb.Matrix, pb.Program, degradeTime(pb.Predicted), degradeTime(r.StaleTime))
+		}
+		k := *top
+		if k > 0 && *c.topk > 0 && *c.topk < k {
+			k = *c.topk
+		}
+		emit(out, eval.BuildDegradeTable(r, k), *tsv)
+		return nil
+	})
+}
+
+// degradeTime renders a predicted time, spelling out the +Inf a down link
+// produces.
+func degradeTime(v float64) string {
+	if math.IsInf(v, 1) {
+		return "never completes (down link)"
+	}
+	return fmt.Sprintf("%.3fs", v)
+}
+
+// replanGain renders the stale-over-replanned ratio.
+func replanGain(v float64) string {
+	if math.IsInf(v, 1) {
+		return "re-planning avoids a down link the stale plan crosses"
+	}
+	return fmt.Sprintf("%.2fx faster than keeping the stale plan", v)
 }
 
 func emit(out io.Writer, t *eval.Table, tsv bool) {

@@ -17,6 +17,8 @@
 //	p2 tables     -table 3|4|appendix [-system a100|v100] [-nodes N]
 //	p2 figure11   -panel a|b [-chart]
 //	p2 accuracy
+//	p2 degrade    -system superpod:3x4 -axes "[12 8]" -reduce "[0]" -fault "gpu:0/0/0:bw/10"   # ranking shift under a degraded link
+//	p2 degrade    -system a100 -nodes 4 -axes "[4 16]" -reduce "[0]" -fault "node:2:down"      # re-plan around a down NIC
 package main
 
 import (
@@ -58,6 +60,8 @@ func run(args []string, out, errOut io.Writer) int {
 		err = cmdFigure11(rest, out)
 	case "accuracy":
 		err = cmdAccuracy(rest, out)
+	case "degrade":
+		err = cmdDegrade(rest, out)
 	case "help", "-h", "--help":
 		usage(out)
 	default:
@@ -92,5 +96,9 @@ commands:
   accuracy    regenerate Table 5 (top-k prediction accuracy, full suite)
               extended with auto-mode rows and the analytic-vs-measured
               disagreement rate (-pinned-only for the Ring/Tree rows
-              alone, -json for the auto-sweep export)`)
+              alone, -json for the auto-sweep export)
+  degrade     plan the same request on the pristine and a degraded system
+              (-fault "LEVEL:ENTITY:down|bw/F|lat*F|loss=F", repeatable) and
+              report the ranking shift (Kendall-tau) plus what re-planning
+              around the fault buys`)
 }

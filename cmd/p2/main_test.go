@@ -354,3 +354,58 @@ func TestTraceUnknownProgram(t *testing.T) {
 		t.Errorf("exit=%d err=%q", code, errOut)
 	}
 }
+
+func TestDegradeCommand(t *testing.T) {
+	out, errOut, code := exec("degrade", "-system", "a100", "-nodes", "2",
+		"-axes", "[2 16]", "-reduce", "[0]", "-fault", "gpu:0/0:bw/10", "-top", "5")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"1 link override(s)", "ranking shift:", "pairs flipped",
+		"tau-distance", "best strategy", "Degraded (s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDegradeDownLinkCommand(t *testing.T) {
+	out, errOut, code := exec("degrade", "-system", "a100", "-nodes", "4",
+		"-axes", "[4 16]", "-reduce", "[0]", "-fault", "node:2:down", "-top", "0")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "down link") {
+		t.Errorf("down-link outage not spelled out:\n%s", out)
+	}
+}
+
+func TestDegradeDeterministic(t *testing.T) {
+	args := func(par string) []string {
+		return []string{"degrade", "-system", "a100", "-nodes", "2",
+			"-axes", "[2 16]", "-reduce", "[0]", "-fault", "gpu:0/0:bw/10",
+			"-parallelism", par}
+	}
+	ref, errOut, code := exec(args("1")...)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, par := range []string{"4", "16"} {
+		if got, _, _ := exec(args(par)...); got != ref {
+			t.Errorf("-parallelism %s output differs from serial:\n%s\nvs\n%s", par, got, ref)
+		}
+	}
+}
+
+func TestDegradeErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"no fault":  {"degrade", "-system", "a100", "-nodes", "2", "-axes", "[2 16]", "-reduce", "[0]"},
+		"bad fault": {"degrade", "-system", "a100", "-nodes", "2", "-axes", "[2 16]", "-reduce", "[0]", "-fault", "warp:0:down"},
+		"measure":   {"degrade", "-system", "a100", "-nodes", "2", "-axes", "[2 16]", "-reduce", "[0]", "-fault", "gpu:0/0:bw/10", "-measure", "rerank"},
+		"matrix":    {"degrade", "-system", "a100", "-nodes", "2", "-axes", "[2 16]", "-reduce", "[0]", "-fault", "gpu:0/0:bw/10", "-matrix", "[[2 2] [1 16]]"},
+	} {
+		if _, errOut, code := exec(args...); code != 1 || !strings.Contains(errOut, "p2:") {
+			t.Errorf("%s: exit=%d err=%q", name, code, errOut)
+		}
+	}
+}

@@ -85,6 +85,17 @@ var determinismCases = []struct {
 	// Non-power-of-two pod count: reduction groups of 3, 6 and 12 run the
 	// residual halving-doubling schedule inside the auto search.
 	{"superpod-3x4-auto", p2.SuperPodSystem(3, 4), []int{12, 8}, []int{0}, p2.ExtendedAlgorithms},
+	// Degraded fabric: link overrides switch the cost model onto the
+	// per-entity path, which must stay as deterministic as the uniform one.
+	{"superpod-3x4-degraded", degradedSuperPod34(), []int{12, 8}, []int{0}, nil},
+	{"superpod-3x4-degraded-auto", degradedSuperPod34(), []int{12, 8}, []int{0}, p2.ExtendedAlgorithms},
+}
+
+// degradedSuperPod34 is the determinism matrix's degraded system: a
+// superpod-3x4 with one GPU's NVSwitch uplink throttled to a tenth.
+func degradedSuperPod34() *p2.System {
+	return p2.SuperPodSystem(3, 4).MustWithOverrides(
+		p2.LinkOverride{Level: 2, Entity: 13, BandwidthScale: 0.1, LatencyScale: 1})
 }
 
 func TestPlanParallelMatchesSerial(t *testing.T) {
@@ -207,6 +218,10 @@ func TestPlanPrunedMatchesSerial(t *testing.T) {
 		// still rank byte-identically to the serial brute force at every
 		// TopK × parallelism combination.
 		{"superpod-3x4-auto", p2.SuperPodSystem(3, 4), []int{12, 8}, []int{0}, p2.ExtendedAlgorithms},
+		// Degraded fabric under pruning: the per-entity bound must prune
+		// exactly as the serial reference ranks, with a throttled NVSwitch
+		// uplink steering both the bound and the model.
+		{"superpod-3x4-degraded-auto", degradedSuperPod34(), []int{12, 8}, []int{0}, p2.ExtendedAlgorithms},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			serial, err := p2.PlanSerial(tc.sys, p2.Request{Axes: tc.axes, ReduceAxes: tc.red, Algos: tc.algos})

@@ -124,14 +124,21 @@ func (m *Model) StepTime(st lower.Step) float64 {
 			if ldiv < 0 {
 				continue
 			}
-			if lat := m.Sys.Uplinks[ldiv].Latency; lat > maxLatency {
-				maxLatency = lat
-			}
 			// Accumulate entity ids incrementally down the levels
 			// (id(l) = id(l-1)·count(l) + digit(l)) instead of re-folding
 			// the address prefix per level.
 			ida := m.Sys.EntityID(e.a, ldiv)
 			idb := m.Sys.EntityID(e.b, ldiv)
+			// The transfer's latency is that of the slower of the two
+			// endpoints' uplinks at the divergence level; without overrides
+			// both equal Uplinks[ldiv].Latency.
+			lat := m.Sys.LinkLatency(ldiv, ida)
+			if lb := m.Sys.LinkLatency(ldiv, idb); lb > lat {
+				lat = lb
+			}
+			if lat > maxLatency {
+				maxLatency = lat
+			}
 			for l := ldiv; ; {
 				traffic[offsets[l]+ida] += e.bytes
 				traffic[offsets[l]+idb] += e.bytes
@@ -144,11 +151,25 @@ func (m *Model) StepTime(st lower.Step) float64 {
 		}
 	}
 	worst := 0.0
-	for l := 0; l < L; l++ {
-		bw := m.Sys.Uplinks[l].Bandwidth
-		for _, bytes := range traffic[offsets[l]:offsets[l+1]] {
-			if t := bytes / bw; t > worst {
-				worst = t
+	if m.Sys.HasOverrides() {
+		// Heterogeneous fabric: each entity's uplink has its own effective
+		// bandwidth. A down link (bandwidth 0) carrying traffic yields +Inf;
+		// with zero traffic the 0/0 NaN fails the > comparison and is
+		// correctly ignored (no traffic, no cost).
+		for l := 0; l < L; l++ {
+			for e, bytes := range traffic[offsets[l]:offsets[l+1]] {
+				if t := bytes / m.Sys.LinkBandwidth(l, e); t > worst {
+					worst = t
+				}
+			}
+		}
+	} else {
+		for l := 0; l < L; l++ {
+			bw := m.Sys.Uplinks[l].Bandwidth
+			for _, bytes := range traffic[offsets[l]:offsets[l+1]] {
+				if t := bytes / bw; t > worst {
+					worst = t
+				}
 			}
 		}
 	}

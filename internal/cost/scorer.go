@@ -121,7 +121,7 @@ func (s *Scorer) StepTimeAlgo(m *Model, st lower.Step, algo Algorithm) float64 {
 		for l+1 < L && i >= offsets[l+1] {
 			l++
 		}
-		if t := s.traffic[i] / s.sys.Uplinks[l].Bandwidth; t > worst {
+		if t := s.traffic[i] / s.sys.LinkBandwidth(l, i-offsets[l]); t > worst {
 			worst = t
 		}
 		s.traffic[i] = 0
@@ -273,14 +273,19 @@ func (s *Scorer) addEdge(a, b int, bytes float64) {
 	if ldiv < 0 {
 		return
 	}
-	if lat := s.sys.Uplinks[ldiv].Latency; lat > s.maxLat {
-		s.maxLat = lat
-	}
 	offsets := s.sys.EntityOffsets()
 	rad := s.sys.Radix()
 	L := s.sys.NumLevels()
 	ida := s.sys.EntityID(a, ldiv)
 	idb := s.sys.EntityID(b, ldiv)
+	// Slower endpoint uplink at the divergence level, as in Model.StepTime.
+	lat := s.sys.LinkLatency(ldiv, ida)
+	if lb := s.sys.LinkLatency(ldiv, idb); lb > lat {
+		lat = lb
+	}
+	if lat > s.maxLat {
+		s.maxLat = lat
+	}
 	for l := ldiv; ; {
 		s.bump(offsets[l]+ida, bytes)
 		s.bump(offsets[l]+idb, bytes)

@@ -27,6 +27,30 @@ type ConcurrentSpec struct {
 	StepAlgos []cost.Algorithm
 }
 
+// normalized resolves the spec's inherit-from-simulator defaults into
+// explicit values: a non-positive payload becomes the simulator's Bytes, an
+// unset algorithm the simulator's Algo, and a uniform per-step assignment
+// collapses to the fixed algorithm it names. It is the single place spec
+// defaulting happens, which is what guarantees MeasureConcurrentSpecs of a
+// lone default spec agrees byte-for-byte with MeasureSteps of the same
+// program.
+func (c ConcurrentSpec) normalized(s *Simulator) ConcurrentSpec {
+	if c.Bytes <= 0 {
+		c.Bytes = s.Bytes
+	}
+	if !c.HasAlgo {
+		c.Algo, c.HasAlgo = s.Algo, true
+	}
+	if c.StepAlgos != nil && len(c.StepAlgos) != len(c.Program.Steps) {
+		panic(fmt.Sprintf("netsim: %d step algorithms for %d steps",
+			len(c.StepAlgos), len(c.Program.Steps)))
+	}
+	if a, ok := cost.UniformAlgo(c.StepAlgos); ok {
+		c.Algo, c.StepAlgos = a, nil
+	}
+	return c
+}
+
 // MeasureConcurrent emulates several lowered programs executing at the
 // same time on the shared network — e.g. a tensor-parallel activation
 // all-reduce overlapping a data-parallel gradient all-reduce, as happens
@@ -49,6 +73,19 @@ func (s *Simulator) MeasureConcurrent(programs []*lower.Program) []float64 {
 func (s *Simulator) MeasureConcurrentSpecs(specs []ConcurrentSpec) []float64 {
 	if len(specs) == 0 {
 		return nil
+	}
+	if len(specs) == 1 {
+		// A lone lane has nothing to contend with, and its noise stream is
+		// seeded identically to the single-program runner's (the lane-index
+		// perturbation is zero for lane 0) — delegating makes the documented
+		// equivalence with MeasureSteps bitwise exact rather than merely
+		// approximate (the two event loops group their time sums
+		// differently, which costs an ULP).
+		spec := specs[0].normalized(s)
+		single := *s
+		single.Bytes = spec.Bytes
+		single.Algo = spec.Algo
+		return []float64{single.MeasureSteps(spec.Program, spec.StepAlgos)}
 	}
 	opts := s.Opts.effective()
 
@@ -83,10 +120,11 @@ func (s *Simulator) MeasureConcurrentSpecs(specs []ConcurrentSpec) []float64 {
 		}
 		var out []int
 		for l := ldiv; l < s.Sys.NumLevels(); l++ {
-			bw := s.Sys.Uplinks[l].Bandwidth
+			ea := s.Sys.EntityID(a, l)
+			eb := s.Sys.EntityID(b, l)
 			out = append(out,
-				getRes(resKey{l, s.Sys.EntityID(a, l)}, bw),
-				getRes(resKey{l, s.Sys.EntityID(b, l)}, bw))
+				getRes(resKey{l, ea}, s.Sys.LinkBandwidth(l, ea)),
+				getRes(resKey{l, eb}, s.Sys.LinkBandwidth(l, eb)))
 		}
 		if cd := s.Sys.CrossDomain; cd != nil && !opts.DisableCrossDomain && ldiv == s.Sys.NumLevels()-1 {
 			leaf := s.Sys.Levels[len(s.Sys.Levels)-1].Count
@@ -103,27 +141,15 @@ func (s *Simulator) MeasureConcurrentSpecs(specs []ConcurrentSpec) []float64 {
 
 	lanes := make([]*laneState, len(specs))
 	for li, spec := range specs {
+		spec = spec.normalized(s)
 		p := spec.Program
 		if p.NumDevices != s.Sys.NumDevices() {
 			panic(fmt.Sprintf("netsim: program has %d devices, system %d",
 				p.NumDevices, s.Sys.NumDevices()))
 		}
 		bytes := spec.Bytes
-		if bytes <= 0 {
-			bytes = s.Bytes
-		}
-		algo := s.Algo
-		if spec.HasAlgo {
-			algo = spec.Algo
-		}
+		algo := spec.Algo
 		stepAlgos := spec.StepAlgos
-		if stepAlgos != nil && len(stepAlgos) != len(p.Steps) {
-			panic(fmt.Sprintf("netsim: %d step algorithms for %d steps",
-				len(stepAlgos), len(p.Steps)))
-		}
-		if a, ok := cost.UniformAlgo(stepAlgos); ok {
-			algo, stepAlgos = a, nil
-		}
 		steps := p.Steps
 		if !opts.DisableFusion {
 			steps, stepAlgos = fuseStepsAlgos(steps, stepAlgos)
@@ -147,6 +173,7 @@ func (s *Simulator) MeasureConcurrentSpecs(specs []ConcurrentSpec) []float64 {
 	var active []*liveTransfer
 	now := 0.0
 	unfinished := len(lanes)
+	stalledTransfers := 0
 
 	startStep := func(li int) {
 		lane := lanes[li]
@@ -193,7 +220,16 @@ func (s *Simulator) MeasureConcurrentSpecs(specs []ConcurrentSpec) []float64 {
 				started:   now,
 			}
 			for _, ri := range tr.paths {
-				resources[ri].active++
+				if resources[ri].bandwidth == 0 {
+					tr.stalled = true
+				}
+			}
+			if tr.stalled {
+				stalledTransfers++
+			} else {
+				for _, ri := range tr.paths {
+					resources[ri].active++
+				}
 			}
 			active = append(active, &liveTransfer{transfer: tr, lane: li})
 			g.inflight++
@@ -224,8 +260,13 @@ func (s *Simulator) MeasureConcurrentSpecs(specs []ConcurrentSpec) []float64 {
 				}
 			}
 		}
-		// Rates.
+		// Rates. Stalled transfers (path crossing a down link) hold rate 0
+		// and do not count toward any link's active share.
 		for _, tr := range active {
+			if tr.stalled {
+				tr.rate = 0
+				continue
+			}
 			rate := math.Inf(1)
 			for _, ri := range tr.paths {
 				r := resources[ri].bandwidth / float64(resources[ri].active)
@@ -238,12 +279,11 @@ func (s *Simulator) MeasureConcurrentSpecs(specs []ConcurrentSpec) []float64 {
 		// Next event time.
 		dt := math.Inf(1)
 		for _, tr := range active {
-			if tr.rate > 0 {
-				if d := tr.remaining / tr.rate; d < dt {
-					dt = d
-				}
-			} else {
-				dt = 0
+			if tr.stalled {
+				continue
+			}
+			if d := tr.remaining / tr.rate; d < dt {
+				dt = d
 			}
 		}
 		for _, lane := range lanes {
@@ -265,6 +305,16 @@ func (s *Simulator) MeasureConcurrentSpecs(specs []ConcurrentSpec) []float64 {
 			}
 		}
 		if math.IsInf(dt, 1) {
+			if stalledTransfers > 0 {
+				// Every remaining lane is blocked behind a down link: those
+				// lanes never finish.
+				for _, lane := range lanes {
+					if !lane.done {
+						lane.finish = math.Inf(1)
+					}
+				}
+				break
+			}
 			panic("netsim: concurrent deadlock with no progress")
 		}
 		if dt < 0 {

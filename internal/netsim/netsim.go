@@ -185,6 +185,11 @@ type transfer struct {
 	paths     []int // resource indices
 	group     int
 	rate      float64
+	// stalled marks a transfer whose path crosses a down link (a
+	// LinkOverride with bandwidth scale 0): it never completes, never
+	// occupies bandwidth on the healthy links of its path, and its group —
+	// hence the step — never finishes, making the measured time +Inf.
+	stalled bool
 	// trace metadata (only used when a Recorder is attached)
 	src, dst int
 	bytes    float64
@@ -231,6 +236,7 @@ func (s *Simulator) runStep(st lower.Step, algo cost.Algorithm, stepIdx int, bas
 	}
 
 	var active []*transfer
+	stalled := 0
 	now := 0.0
 
 	pathOf := func(a, b int) []int {
@@ -240,10 +246,11 @@ func (s *Simulator) runStep(st lower.Step, algo cost.Algorithm, stepIdx int, bas
 		}
 		var out []int
 		for l := ldiv; l < s.Sys.NumLevels(); l++ {
-			bw := s.Sys.Uplinks[l].Bandwidth
+			ea := s.Sys.EntityID(a, l)
+			eb := s.Sys.EntityID(b, l)
 			out = append(out,
-				getRes(resKey{l, s.Sys.EntityID(a, l)}, bw),
-				getRes(resKey{l, s.Sys.EntityID(b, l)}, bw))
+				getRes(resKey{l, ea}, s.Sys.LinkBandwidth(l, ea)),
+				getRes(resKey{l, eb}, s.Sys.LinkBandwidth(l, eb)))
 		}
 		if cd := s.Sys.CrossDomain; cd != nil && !opts.DisableCrossDomain && ldiv == s.Sys.NumLevels()-1 {
 			// Same node, leaf-level divergence: check PCIe domains.
@@ -278,7 +285,16 @@ func (s *Simulator) runStep(st lower.Step, algo cost.Algorithm, stepIdx int, bas
 				started:   now,
 			}
 			for _, ri := range tr.paths {
-				resources[ri].active++
+				if resources[ri].bandwidth == 0 {
+					tr.stalled = true
+				}
+			}
+			if tr.stalled {
+				stalled++
+			} else {
+				for _, ri := range tr.paths {
+					resources[ri].active++
+				}
 			}
 			active = append(active, tr)
 			g.inflight++
@@ -290,8 +306,13 @@ func (s *Simulator) runStep(st lower.Step, algo cost.Algorithm, stepIdx int, bas
 	}
 
 	for live > 0 {
-		// Assign equal-share rates.
+		// Assign equal-share rates. Stalled transfers hold rate 0 and do
+		// not count toward any link's active share (they move no bytes).
 		for _, tr := range active {
+			if tr.stalled {
+				tr.rate = 0
+				continue
+			}
 			rate := math.Inf(1)
 			for _, ri := range tr.paths {
 				r := resources[ri].bandwidth / float64(resources[ri].active)
@@ -301,15 +322,16 @@ func (s *Simulator) runStep(st lower.Step, algo cost.Algorithm, stepIdx int, bas
 			}
 			tr.rate = rate
 		}
-		// Time of next completion or pending round start.
+		// Time of next completion or pending round start. Non-stalled
+		// transfers always have rate > 0: base bandwidths are validated
+		// positive and a transfer counts toward its own links' shares.
 		dt := math.Inf(1)
 		for _, tr := range active {
-			if tr.rate > 0 {
-				if d := tr.remaining / tr.rate; d < dt {
-					dt = d
-				}
-			} else {
-				dt = 0
+			if tr.stalled {
+				continue
+			}
+			if d := tr.remaining / tr.rate; d < dt {
+				dt = d
 			}
 		}
 		for _, g := range groups {
@@ -320,6 +342,11 @@ func (s *Simulator) runStep(st lower.Step, algo cost.Algorithm, stepIdx int, bas
 			}
 		}
 		if math.IsInf(dt, 1) {
+			if stalled > 0 {
+				// All remaining progress is behind a down link: the step
+				// never completes.
+				return math.Inf(1)
+			}
 			panic("netsim: deadlock with no progress")
 		}
 		if dt < 0 {
@@ -379,8 +406,11 @@ func (s *Simulator) pathLatency(a, b int) float64 {
 	}
 	lat := 0.0
 	for l := ldiv; l < s.Sys.NumLevels(); l++ {
-		if s.Sys.Uplinks[l].Latency > lat {
-			lat = s.Sys.Uplinks[l].Latency
+		if la := s.Sys.LinkLatency(l, s.Sys.EntityID(a, l)); la > lat {
+			lat = la
+		}
+		if lb := s.Sys.LinkLatency(l, s.Sys.EntityID(b, l)); lb > lat {
+			lat = lb
 		}
 	}
 	if cd := s.Sys.CrossDomain; cd != nil && cd.Latency > lat {

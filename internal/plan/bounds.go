@@ -98,19 +98,34 @@ func placementBound(sys *topology.System, h *hierarchy.Hierarchy, bytes float64)
 
 	worst := 0.0
 	for l := 0; l < L; l++ {
-		bw := sys.Uplinks[l].Bandwidth
-		for _, n := range splits[offsets[l]:offsets[l+1]] {
-			if t := 2 * bytes * float64(n) / bw; t > worst {
+		for e, n := range splits[offsets[l]:offsets[l+1]] {
+			if n == 0 {
+				// Skip untouched entities: besides the scan cost, a down
+				// link (effective bandwidth 0) would make 0/0 a NaN here.
+				continue
+			}
+			// Per-entity effective bandwidth keeps the bound admissible —
+			// and tighter than a worst-case-per-level bandwidth would —
+			// because the flow argument above is already per-entity: entity
+			// E's 2·Bytes·splitGroups(E) crosses E's own uplink. A down
+			// uplink (bandwidth 0) with splits yields +Inf: every program
+			// for this placement must cross it, so every prediction is +Inf
+			// too and the bound remains a true lower bound.
+			if t := 2 * bytes * float64(n) / sys.LinkBandwidth(l, e); t > worst {
 				worst = t
 			}
 		}
 	}
 	lat := 0.0
 	if crossed < L {
-		lat = sys.Uplinks[crossed].Latency
+		// Minimum effective uplink latency over levels ≤ crossed and over
+		// each level's entities: some step pays a round of latency on an
+		// uplink at one of these levels, but overrides mean we cannot know
+		// which entity's, so the bound assumes the fastest.
+		lat = sys.MinLinkLatency(crossed)
 		for l := 0; l < crossed; l++ {
-			if sys.Uplinks[l].Latency < lat {
-				lat = sys.Uplinks[l].Latency
+			if m := sys.MinLinkLatency(l); m < lat {
+				lat = m
 			}
 		}
 	}

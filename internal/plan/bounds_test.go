@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"math/rand"
 	"testing"
 
 	"p2/internal/cost"
@@ -36,6 +37,16 @@ func TestPlacementBoundAdmissible(t *testing.T) {
 		{topology.A100System(3), []int{3, 16}, []int{0}},
 		{topology.SuperPodSystem(3, 2), []int{6, 8}, []int{0}},
 		{topology.SuperPodSystem(3, 2), []int{4, 2, 6}, []int{0, 2}},
+		// Override-carrying systems: the per-entity flow argument must keep
+		// the bound admissible when links are throttled, slowed, lossy or
+		// down (down ⇒ bound +Inf and predicted +Inf; Inf > Inf is false).
+		{topology.A100System(2).MustWithOverrides(
+			topology.Throttle(1, 3, 10)), []int{4, 8}, []int{0}},
+		{topology.SuperPodSystem(2, 4).MustWithOverrides(
+			topology.Down(1, 5), topology.Slow(0, 0, 8)), []int{8, 8}, []int{0}},
+		{topology.Fig2aSystem().MustWithOverrides(
+			topology.Lossy(3, 7, 0.5), topology.Throttle(0, 0, 4),
+			topology.Slow(2, 1, 16)), []int{4, 4}, []int{0}},
 	}
 	for _, tc := range cases {
 		matrices, err := placement.Enumerate(tc.sys.Hierarchy(), tc.axes)
@@ -63,6 +74,68 @@ func TestPlacementBoundAdmissible(t *testing.T) {
 					if predicted := model.ProgramTime(lp); bound > predicted {
 						t.Errorf("%s matrix %v program %v algo %v: bound %v exceeds predicted %v",
 							tc.sys.Name, m, prog, algo, bound, predicted)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlacementBoundAdmissibleRandomOverrides fuzzes the admissibility
+// property over randomized override sets: arbitrary throttle/slow/loss
+// combinations (including full outages) on arbitrary links must never push
+// the bound above any program's predicted cost. Seeded for reproducibility.
+func TestPlacementBoundAdmissibleRandomOverrides(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := topology.SuperPodSystem(2, 2) // [pod 2][node 4][gpu 8]: 3 levels
+	axes, red := []int{4, 8}, []int{0}
+	for trial := 0; trial < 20; trial++ {
+		var ovs []topology.LinkOverride
+		for n := 1 + rng.Intn(4); n > 0; n-- {
+			l := rng.Intn(base.NumLevels())
+			o := topology.LinkOverride{
+				Level:          l,
+				Entity:         rng.Intn(base.EntitiesAt(l)),
+				BandwidthScale: 1,
+				LatencyScale:   1,
+			}
+			switch rng.Intn(4) {
+			case 0:
+				o.BandwidthScale = 0 // down
+			case 1:
+				o.BandwidthScale = 0.05 + 0.95*rng.Float64()
+			case 2:
+				o.LatencyScale = 1 + 31*rng.Float64()
+			case 3:
+				o.LossFrac = 0.9 * rng.Float64()
+			}
+			ovs = append(ovs, o)
+		}
+		sys, err := base.WithOverrides(ovs...)
+		if err != nil {
+			t.Fatalf("trial %d overrides %+v: %v", trial, ovs, err)
+		}
+		matrices, err := placement.Enumerate(sys.Hierarchy(), axes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bytes := cost.DefaultPayload(sys)
+		for _, m := range matrices {
+			h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, red, hierarchy.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := placementBound(sys, h, bytes)
+			for _, prog := range synth.Synthesize(h, synth.Options{}).Programs {
+				lp, err := lower.Lower(prog, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, algo := range cost.ExtendedAlgorithms {
+					model := &cost.Model{Sys: sys, Algo: algo, Bytes: bytes}
+					if predicted := model.ProgramTime(lp); bound > predicted {
+						t.Errorf("trial %d overrides %+v matrix %v program %v algo %v: bound %v exceeds predicted %v",
+							trial, ovs, m, prog, algo, bound, predicted)
 					}
 				}
 			}

@@ -142,7 +142,7 @@ func rerank(cands []*Candidate, model *cost.Model, opts Options, stats *Stats) {
 	for i, c := range cands {
 		measured[i] = c.Measured
 	}
-	stats.RankInversions += countInversions(measured)
+	stats.RankInversions += CountInversions(measured)
 	sort.Slice(cands, func(i, j int) bool { return measuredLess(cands[i], cands[j]) })
 }
 
@@ -170,7 +170,7 @@ func rerankJoint(jcs []*JointCandidate, reds []JointSpec, opts Options, stats *S
 	for i, jc := range jcs {
 		totals[i] = jc.MeasuredTotal
 	}
-	stats.RankInversions += countInversions(totals)
+	stats.RankInversions += CountInversions(totals)
 	sort.Slice(jcs, func(i, j int) bool {
 		if jcs[i].MeasuredTotal != jcs[j].MeasuredTotal {
 			return jcs[i].MeasuredTotal < jcs[j].MeasuredTotal
@@ -179,12 +179,15 @@ func rerankJoint(jcs []*JointCandidate, reds []JointSpec, opts Options, stats *S
 	})
 }
 
-// countInversions counts the pairs i < j with vals[i] > vals[j] — the
-// Kendall-tau distance between the analytic order the values arrive in
-// and the measured order, i.e. how many pairwise comparisons the emulator
-// settles differently from the cost model. O(n log n) merge count, since
+// CountInversions counts the pairs i < j with vals[i] > vals[j] — the
+// Kendall-tau distance between the order the values arrive in and their
+// sorted order, i.e. how many pairwise comparisons a second ranking
+// settles differently from the first when vals holds the second ranking's
+// scores walked in first-ranking order. Measured re-ranking uses it for
+// analytic-vs-emulated disagreement; the degraded-scenario eval for
+// pristine-vs-degraded ranking shift. O(n log n) merge count, since
 // rank-all runs it over the full cross-product.
-func countInversions(vals []float64) int {
+func CountInversions(vals []float64) int {
 	if len(vals) < 2 {
 		return 0
 	}

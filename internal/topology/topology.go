@@ -15,6 +15,7 @@ package topology
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"p2/internal/factor"
@@ -69,11 +70,20 @@ type System struct {
 	// CrossDomain optionally refines the leaf level for the event-level
 	// emulator. The analytic model ignores it.
 	CrossDomain *CrossDomainModel
+	// Overrides degrades individual entity uplinks, making the fabric
+	// heterogeneous; see LinkOverride and WithOverrides. Empty for the
+	// pristine uniform-link systems of §5.
+	Overrides []LinkOverride
 
 	radix *factor.Radix
 	// entOffsets[l] is the cumulative entity count of levels above l; see
 	// EntityOffsets.
 	entOffsets []int
+	// effBW/effLat are dense per-entity effective link characteristics
+	// (indexed entOffsets[l]+e) and minLat the per-level minimum effective
+	// latency; all nil unless some override actually degrades a link, so
+	// pristine systems keep the uniform fast paths.
+	effBW, effLat, minLat []float64
 }
 
 // New constructs and validates a System.
@@ -117,11 +127,8 @@ func (s *System) init() error {
 		sizes[i] = l.Count
 	}
 	for i, u := range s.Uplinks {
-		if u.Bandwidth <= 0 {
-			return fmt.Errorf("topology: uplink %d (%s) has non-positive bandwidth", i, u.Name)
-		}
-		if u.Latency < 0 {
-			return fmt.Errorf("topology: uplink %d (%s) has negative latency", i, u.Name)
+		if err := validLink(u.Bandwidth, u.Latency); err != nil {
+			return fmt.Errorf("topology: uplink %d (%s): %w", i, u.Name, err)
 		}
 	}
 	if cd := s.CrossDomain; cd != nil {
@@ -130,6 +137,9 @@ func (s *System) init() error {
 			return fmt.Errorf("topology: cross-domain count %d does not divide leaf count %d",
 				cd.DomainsPerNode, leaf)
 		}
+		if err := validLink(cd.Bandwidth, cd.Latency); err != nil {
+			return fmt.Errorf("topology: cross-domain link: %w", err)
+		}
 	}
 	s.radix = factor.NewRadix(sizes)
 	s.entOffsets = make([]int, len(s.Levels)+1)
@@ -137,6 +147,21 @@ func (s *System) init() error {
 	for l, lv := range s.Levels {
 		prod *= lv.Count
 		s.entOffsets[l+1] = s.entOffsets[l] + prod
+	}
+	return s.initOverrides()
+}
+
+// validLink rejects link characteristics that would silently corrupt the
+// cost model: a non-positive, NaN or +Inf bandwidth yields ±Inf/NaN step
+// times, and a negative or non-finite latency likewise. Note NaN fails
+// every ordered comparison, so the conditions are written to catch it
+// explicitly rather than relying on `<= 0`.
+func validLink(bandwidth, latency float64) error {
+	if !(bandwidth > 0) || math.IsInf(bandwidth, 1) {
+		return fmt.Errorf("bandwidth %v must be positive and finite", bandwidth)
+	}
+	if !(latency >= 0) || math.IsInf(latency, 1) {
+		return fmt.Errorf("latency %v must be non-negative and finite", latency)
 	}
 	return nil
 }
@@ -287,19 +312,34 @@ func (s *System) Clone() *System {
 		cd := *s.CrossDomain
 		c.CrossDomain = &cd
 	}
+	c.Overrides = append([]LinkOverride(nil), s.Overrides...)
 	if err := c.init(); err != nil {
 		panic(err)
 	}
 	return &c
 }
 
+// Loopback is the pseudo-link returned by BottleneckLink for groups that
+// never leave a single device (span level -1): device-local data movement,
+// modelled as effectively free relative to any interconnect. The bandwidth
+// is a petabyte/second — far above any real link but finite, so
+// bytes/Loopback.Bandwidth stays a well-defined (tiny) float instead of
+// collapsing to 0 or NaN in downstream ratios.
+var Loopback = Link{Name: "loopback", Bandwidth: 1e15, Latency: 0}
+
 // BottleneckLink returns the uplink traversed at the given span level: a
 // group spanning level l is bottlenecked by the uplink of level-l entities
 // (e.g. a cross-node group by the per-node NIC). For a within-entity group
-// at the leaf level this is the leaf uplink.
+// at the leaf level this is the leaf uplink. Span level -1 (a single-device
+// group, see GroupSpanLevel) yields Loopback; any other out-of-range level
+// is a programming error and panics.
 func (s *System) BottleneckLink(spanLevel int) Link {
-	if spanLevel < 0 {
-		return Link{Name: "loopback", Bandwidth: 1e15, Latency: 0}
+	if spanLevel == -1 {
+		return Loopback
+	}
+	if spanLevel < -1 || spanLevel >= len(s.Uplinks) {
+		panic(fmt.Sprintf("topology: BottleneckLink span level %d out of range [-1, %d)",
+			spanLevel, len(s.Uplinks)))
 	}
 	// A group that first diverges at level l sends traffic through the
 	// uplinks of level >= l entities; the slowest of those dominates.

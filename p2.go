@@ -54,6 +54,18 @@ type Level = topology.Level
 // Link describes an interconnect uplink (bandwidth in bytes/s).
 type Link = topology.Link
 
+// LinkOverride degrades one specific entity's uplink (bandwidth/latency
+// multipliers, loss fraction, or a fully down link), making a system's
+// fabric heterogeneous; attach overrides with System.WithOverrides.
+type LinkOverride = topology.LinkOverride
+
+// ParseFaults parses a fault-spec string ("LEVEL:ENTITY:EFFECT[,...]"
+// clauses, ';'-separated — see topology.ParseFaults for the grammar)
+// against a concrete system, yielding overrides for System.WithOverrides.
+func ParseFaults(sys *System, spec string) ([]LinkOverride, error) {
+	return topology.ParseFaults(sys, spec)
+}
+
 // Matrix is a parallelism placement matrix.
 type Matrix = placement.Matrix
 

@@ -21,7 +21,7 @@ TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
 go test -run XXX \
-  -bench 'BenchmarkPlanSuperPod2x4|BenchmarkPlanSuperPod3x4|BenchmarkPlanSuperPod4x8|BenchmarkPlanJointEngine|BenchmarkCostEstimate|BenchmarkLower$' \
+  -bench 'BenchmarkPlanSuperPod2x4|BenchmarkPlanSuperPod3x4|BenchmarkPlanSuperPod3x4Degraded|BenchmarkPlanSuperPod4x8|BenchmarkPlanJointEngine|BenchmarkCostEstimate|BenchmarkLower$' \
   -benchmem -benchtime "$BENCHTIME" . | tee "$TMP"
 
 go run ./scripts/benchjson -o "$OUT" -benchtime "$BENCHTIME" -note "$BENCHNOTE" < "$TMP"

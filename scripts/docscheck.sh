@@ -13,10 +13,15 @@ cd "$(dirname "$0")/.."
 fail=0
 
 # --- 1. README flags exist in cmd/p2 ---------------------------------------
-# Flags defined anywhere in cmd/p2 (flag.FlagSet String/Int/Bool/Float64
-# declarations).
-defined=$(grep -hoE 'fs\.(String|Int|Bool|Float64)\("[a-z-]+"' cmd/p2/*.go \
-  | sed -E 's/.*"([a-z-]+)"/\1/' | sort -u)
+# Flags defined anywhere in cmd/p2: flag.FlagSet String/Int/Bool/Float64
+# declarations name the flag in the first argument, Var declarations (used
+# for repeatable flags like -fault) in the second.
+defined=$(
+  {
+    grep -hoE 'fs\.(String|Int|Bool|Float64)\("[a-z-]+"' cmd/p2/*.go
+    grep -hoE 'fs\.Var\([^,]+, "[a-z-]+"' cmd/p2/*.go
+  } | sed -E 's/.*"([a-z-]+)"/\1/' | sort -u
+)
 
 # Flag-looking tokens in the README: "-name" right after start-of-line,
 # whitespace, backtick or '(' — single-letter flags like -o included.
