@@ -1,0 +1,53 @@
+// Command p2lint runs p2's static-analysis suite (internal/analysis) over
+// the given packages — a self-contained multichecker enforcing the
+// engine's documented invariants at compile time:
+//
+//	annot        //p2: markers are well-formed (valid kind + justification)
+//	detmaprange  no range-over-map in determinism-critical packages
+//	nanfloat     no NaN-unsafe float comparisons (==/!=, `x <= c` guards, math.Max/Min)
+//	zeroalloc    //p2:zeroalloc functions contain no allocating constructs
+//	wallclock    no time.Now/timers/math-rand inside the engine
+//	fanout       parallel results land by index, not by arrival order
+//
+// Usage:
+//
+//	go run ./cmd/p2lint ./...
+//
+// Exit status 1 when any diagnostic is reported; CI runs it on every
+// change. Escape hatches and their required justifications are documented
+// in DESIGN.md §10.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"p2/internal/analysis"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: p2lint [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.All {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := analysis.Run("", patterns, analysis.All)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p2lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "p2lint: %d invariant violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

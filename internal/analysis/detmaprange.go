@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetMapRange flags `range` statements over map-typed values inside the
+// determinism-critical packages. Go randomizes map iteration order per
+// run, so any map-range on the plan/synth/lower/cost/placement/netsim/eval
+// path is a latent break of the byte-identical-rankings contract — even
+// when every observed test happens to pass. The blessed patterns are (a)
+// collect the keys, sort them, range over the sorted slice, or (b) prove
+// the loop's effect commutes and annotate the statement with
+// //p2:order-independent <why>.
+var DetMapRange = &Analyzer{
+	Name: "detmaprange",
+	Doc: "flag range-over-map in determinism-critical packages; map iteration order is " +
+		"randomized per run, so an unannotated map-range can silently break byte-identical rankings",
+	AppliesTo: inCritical,
+	Run:       runDetMapRange,
+}
+
+func runDetMapRange(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.Annot.Covers(rng.Pos(), MarkerOrderIndependent) {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"iterate sorted keys (collect, sort.Strings/Ints, range the slice) or annotate //p2:order-independent <why>",
+				"range over map %s iterates in randomized order inside a determinism-critical package",
+				types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+			return true
+		})
+	}
+	return nil
+}

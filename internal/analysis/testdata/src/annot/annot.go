@@ -1,0 +1,41 @@
+// Package annot is the analysistest fixture for the annot hygiene
+// analyzer: unknown //p2: markers and escape hatches missing their
+// justification are rejected, so a typoed annotation can never silently
+// disable a real analyzer.
+package annot
+
+import "sort"
+
+// typoed carries a marker that is not in the closed set — a typo of
+// order-independent that would otherwise silently fail to bless anything.
+func typoed(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//p2:order-indep keys sorted below // want "unknown annotation marker //p2:order-indep"
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// bare carries a justification-requiring marker with no justification.
+func bare(a, b float64) bool {
+	//p2:nan-ok // want "//p2:nan-ok requires a justification"
+	return a == b
+}
+
+// fine is a well-formed escape hatch: known marker, justification present.
+func fine(a, b float64) bool {
+	//p2:nan-ok operands are validated finite by the caller
+	return a == b
+}
+
+// zeroallocNeedsNoWhy: the opt-in marker is the claim itself.
+//
+//p2:zeroalloc
+func zeroallocNeedsNoWhy(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,46 @@
+// Package detmaprange is the analysistest fixture for the detmaprange
+// analyzer: map iteration order is randomized per run, so a bare range
+// over a map inside a determinism-critical package can silently break the
+// byte-identical-rankings contract.
+package detmaprange
+
+import "sort"
+
+// sumValues ranges a map directly: flagged even though the sum happens to
+// be order-independent — the analyzer demands the justification say so.
+func sumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over map map.string.int iterates in randomized order"
+		total += v
+	}
+	return total
+}
+
+// sortedKeys is the blessed shape: collect, sort, range the slice.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//p2:order-independent keys are fully sorted below before any consumption
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// trailingStyle carries the marker on the range line itself.
+func trailingStyle(m map[int]bool) int {
+	n := 0
+	for range m { //p2:order-independent pure count, no per-key effects
+		n++
+	}
+	return n
+}
+
+// sliceRange is not a map range and is never flagged.
+func sliceRange(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,114 @@
+// Package fanout is the analysistest fixture for the fanout analyzer:
+// goroutine fan-outs must land results by index into a preallocated slice;
+// append-under-mutex and channel-drain collection orders depend on
+// scheduling, not input order.
+package fanout
+
+import "sync"
+
+// gatherBad collects by append under a mutex: the lock serializes the
+// appends but not their order.
+func gatherBad(inputs []int) []int {
+	var (
+		mu      sync.Mutex
+		results []int
+		wg      sync.WaitGroup
+	)
+	for _, in := range inputs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := in * in
+			mu.Lock()
+			results = append(results, v) // want "goroutine appends to captured slice results"
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// gatherNamed launches a named local closure: the analyzer resolves the
+// identifier back to the literal.
+func gatherNamed(inputs []int) []int {
+	var (
+		mu      sync.Mutex
+		results []int
+		wg      sync.WaitGroup
+	)
+	worker := func(v int) {
+		defer wg.Done()
+		mu.Lock()
+		results = append(results, v*v) // want "goroutine appends to captured slice results"
+		mu.Unlock()
+	}
+	for _, in := range inputs {
+		wg.Add(1)
+		go worker(in)
+	}
+	wg.Wait()
+	return results
+}
+
+// drainBad collects from a channel in receive order: scheduling-dependent
+// with multiple senders.
+func drainBad(ch chan int) []int {
+	var out []int
+	for v := range ch {
+		out = append(out, v) // want "channel drain collects results in receive order"
+	}
+	return out
+}
+
+// gatherByIndex is the blessed shape: preallocate and land by index.
+func gatherByIndex(inputs []int) []int {
+	results := make([]int, len(inputs))
+	var wg sync.WaitGroup
+	for i, in := range inputs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = in * in
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// gatherBlessed is an order-independent collection (merged by a full sort
+// downstream, like the planner's per-worker heaps) with the justification
+// on the append.
+func gatherBlessed(inputs []int) []int {
+	var (
+		mu      sync.Mutex
+		results []int
+		wg      sync.WaitGroup
+	)
+	for _, in := range inputs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			results = append(results, in) //p2:order-independent results are fully sorted by the caller before use
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// localAppend appends to a slice declared inside the goroutine itself:
+// not captured, never flagged.
+func localAppend(inputs []int, emit func([]int)) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var local []int
+		for _, in := range inputs {
+			local = append(local, in*in)
+		}
+		emit(local)
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,46 @@
+// Package wallclock is the analysistest fixture for the wallclock
+// analyzer: wall-clock reads and nondeterministic randomness are forbidden
+// inside the engine; reporting-only sites escape with //p2:timing-ok.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+func work() {}
+
+// elapsed times work with the wall clock: both reads are flagged.
+func elapsed() time.Duration {
+	start := time.Now() // want "time.Now reads the wall clock inside the engine"
+	work()
+	return time.Since(start) // want "time.Since reads the wall clock inside the engine"
+}
+
+// sleepy blocks on the wall clock.
+func sleepy() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock inside the engine"
+}
+
+// jitter draws from the unseeded global source: nondeterministic.
+func jitter() float64 {
+	return rand.Float64() // want "math/rand.Float64 is nondeterministic randomness inside the engine"
+}
+
+// shuffle is flagged even seeded via the global source helpers.
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "math/rand.Shuffle is nondeterministic randomness inside the engine"
+}
+
+// reported is the blessed shape: wall time flows into a report field,
+// never into a ranking.
+func reported() time.Duration {
+	start := time.Now() //p2:timing-ok wall time is reported to the caller, never ranked
+	work()
+	return time.Since(start) //p2:timing-ok wall time is reported to the caller, never ranked
+}
+
+// duration arithmetic without a clock read is never flagged.
+func budget(d time.Duration) time.Duration {
+	return d * 2
+}

@@ -1,0 +1,82 @@
+// Package zeroalloc is the analysistest fixture for the zeroalloc
+// analyzer: every allocating construct inside a //p2:zeroalloc function is
+// flagged; amortized scratch growth escapes with //p2:alloc-ok; cold
+// branches move into unannotated helpers.
+package zeroalloc
+
+import "fmt"
+
+type point struct{ x, y int }
+
+type scratch struct {
+	buf []int
+}
+
+func release()     {}
+func take(v any)   {}
+func name() string { return "n" }
+
+// hot is the annotated function every construct below violates.
+//
+//p2:zeroalloc
+func hot(xs []int, n int) int {
+	buf := make([]int, 4)        // want "make allocates inside"
+	p := new(point)              // want "new allocates inside"
+	q := point{x: 1}             // want "composite literal allocates inside"
+	xs = append(xs, n)           // want "append allocates inside"
+	f := func() int { return n } // want "function literal"
+	defer release()              // want "defer allocates inside"
+	go release()                 // want "go statement"
+	return len(buf) + p.x + q.x + len(xs) + f()
+}
+
+// format shows the fmt and string-building violations.
+//
+//p2:zeroalloc
+func format(label string, n int) string {
+	msg := fmt.Sprintf("%s=%d", label, n) // want "fmt.Sprintf allocates inside"
+	msg = msg + name()                    // want "string concatenation"
+	msg += label                          // want "string .. concatenation"
+	return msg
+}
+
+// box shows the three interface-boxing shapes.
+//
+//p2:zeroalloc
+func box(n int) any {
+	take(n) // want "interface argument"
+	var v any
+	v = n // want "interface assignment"
+	_ = v
+	return any(n) // want "conversion to interface"
+}
+
+// convert shows the allocating string<->[]byte conversion.
+//
+//p2:zeroalloc
+func convert(bs []byte) string {
+	return string(bs) // want "string conversion"
+}
+
+// grow is the blessed amortized-scratch shape: append growth escapes with
+// a justified //p2:alloc-ok on the line.
+//
+//p2:zeroalloc
+func grow(s *scratch, v int) {
+	s.buf = append(s.buf, v) //p2:alloc-ok growth is amortized; capacity is reused across calls
+}
+
+// trusted calls an unannotated helper: calls are trusted (the helper must
+// carry its own annotation if it is on the hot path), so nothing is
+// flagged here.
+//
+//p2:zeroalloc
+func trusted() {
+	cold()
+}
+
+// cold is unannotated: it may allocate freely (the cold-branch pattern —
+// panics and formatting move here, out of the annotated hot functions).
+func cold() string {
+	return fmt.Sprintf("cold %d", 42)
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClock forbids wall-clock reads and nondeterministic randomness
+// inside the engine: predictions, rankings and emulated timings must be
+// pure functions of the request, so time.Now (and friends) or the global
+// math/rand state anywhere under p2/internal is either a determinism bug
+// or pure reporting — and reporting sites carry //p2:timing-ok <why>.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/time.Since/timers and math/rand inside the engine; rankings must be " +
+		"pure functions of the request, reporting-only timing sites carry //p2:timing-ok",
+	AppliesTo: inEngine,
+	Run:       runWallClock,
+}
+
+// wallClockFuncs are the banned package-level functions of package time.
+// time.Duration arithmetic and formatting stay allowed — only reading the
+// clock (or scheduling against it) is nondeterministic.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+func runWallClock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath := selectorPkgPath(pass, sel)
+			switch {
+			case pkgPath == "time" && wallClockFuncs[sel.Sel.Name]:
+				if pass.Annot.Covers(sel.Pos(), MarkerTimingOk) {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"derive the value from the request (model/emulator time), or annotate a reporting-only site //p2:timing-ok <why>",
+					"time.%s reads the wall clock inside the engine", sel.Sel.Name)
+			case pkgPath == "math/rand" || pkgPath == "math/rand/v2":
+				if pass.Annot.Covers(sel.Pos(), MarkerTimingOk) {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"use a deterministic seed derived from the request (as netsim's jitter does), or annotate //p2:timing-ok <why>",
+					"%s.%s is nondeterministic randomness inside the engine", pkgPath, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// selectorPkgPath resolves sel's receiver to an imported package path, or
+// "" when the selector is not a package-qualified reference.
+func selectorPkgPath(pass *Pass, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}

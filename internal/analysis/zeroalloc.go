@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ZeroAlloc checks functions whose doc comment carries //p2:zeroalloc for
+// allocating constructs, turning benchmark claims like BenchmarkCostEstimate's
+// 0 allocs/op into a compile-time guarantee that also covers the cold
+// branches a benchmark never exercises. Flagged constructs:
+//
+//   - make, new, composite literals
+//   - append (growth allocates; amortized scratch growth is the one
+//     blessed case — annotate the line //p2:alloc-ok <why>)
+//   - string concatenation and string<->[]byte/[]rune conversions
+//   - any fmt.* call
+//   - function literals (closures allocate their environment)
+//   - conversions and assignments into interface types (boxing)
+//   - defer and go statements
+//
+// The check is per-function and syntactic: calls into other functions are
+// trusted, so every helper on an annotated hot path must itself carry the
+// annotation (the cost.Scorer step path annotates its whole call chain).
+// Genuinely-cold or amortized lines escape with //p2:alloc-ok <why>.
+var ZeroAlloc = &Analyzer{
+	Name: "zeroalloc",
+	Doc: "forbid allocating constructs (make/new/literals/append/string concat/fmt/closures/" +
+		"interface boxing/defer/go) in functions marked //p2:zeroalloc; escape single lines with //p2:alloc-ok",
+	Run: runZeroAlloc,
+}
+
+func runZeroAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !FuncMarked(fn, MarkerZeroalloc) {
+				continue
+			}
+			checkZeroAllocBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+// report flags pos unless an alloc-ok marker covers its line.
+func reportAlloc(pass *Pass, pos token.Pos, what string) {
+	if pass.Annot.Covers(pos, MarkerAllocOk) {
+		return
+	}
+	pass.Reportf(pos,
+		"hoist into reusable scratch, move the cold branch into an unannotated helper, or annotate //p2:alloc-ok <why>",
+		"%s allocates inside a //p2:zeroalloc function", what)
+}
+
+func checkZeroAllocBody(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkZeroAllocCall(pass, n)
+		case *ast.CompositeLit:
+			reportAlloc(pass, n.Pos(), "composite literal")
+			return false // inner literals are part of the same allocation
+		case *ast.FuncLit:
+			reportAlloc(pass, n.Pos(), "function literal (closure environment)")
+			return false // the closure body allocates onto the closure, not the hot path
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass, n.X) {
+				reportAlloc(pass, n.Pos(), "string concatenation")
+			}
+		case *ast.AssignStmt:
+			checkZeroAllocAssign(pass, n)
+		case *ast.DeferStmt:
+			reportAlloc(pass, n.Pos(), "defer")
+		case *ast.GoStmt:
+			reportAlloc(pass, n.Pos(), "go statement (goroutine + closure)")
+		}
+		return true
+	})
+}
+
+// checkZeroAllocCall flags allocating builtins, fmt calls, allocating
+// conversions, and concrete arguments boxed into interface parameters.
+func checkZeroAllocCall(pass *Pass, call *ast.CallExpr) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch fun.Name {
+		case "make", "new", "append":
+			if isBuiltin(pass, fun) {
+				reportAlloc(pass, call.Pos(), fun.Name)
+				return
+			}
+		}
+	case *ast.SelectorExpr:
+		if selectorPkgPath(pass, fun) == "fmt" {
+			reportAlloc(pass, call.Pos(), "fmt."+fun.Sel.Name)
+			return
+		}
+	}
+	// Conversions: string(b), []byte(s), []rune(s) allocate; T -> interface boxes.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		from := pass.TypesInfo.Types[call.Args[0]].Type
+		switch {
+		case isInterface(to) && from != nil && !isInterface(from):
+			reportAlloc(pass, call.Pos(), "conversion to interface (boxing)")
+		case allocatingStringConversion(to, from):
+			reportAlloc(pass, call.Pos(), "string conversion")
+		}
+		return
+	}
+	// Concrete arguments passed to interface parameters box.
+	sig, ok := pass.TypesInfo.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
+			break // f(xs...) passes the slice through, no boxing
+		}
+		pi := i
+		if sig.Variadic() && pi >= params.Len()-1 {
+			pi = params.Len() - 1
+		}
+		if pi >= params.Len() {
+			break
+		}
+		pt := params.At(pi).Type()
+		if sig.Variadic() && pi == params.Len()-1 {
+			if sl, ok := pt.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		at := pass.TypesInfo.Types[arg].Type
+		if isInterface(pt) && at != nil && !isInterface(at) && !isUntypedNil(pass, arg) {
+			reportAlloc(pass, arg.Pos(), "interface argument (boxing)")
+		}
+	}
+}
+
+// checkZeroAllocAssign flags interface boxing through assignment and
+// string-building through +=.
+func checkZeroAllocAssign(pass *Pass, as *ast.AssignStmt) {
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 && isString(pass, as.Lhs[0]) {
+		reportAlloc(pass, as.Pos(), "string += concatenation")
+		return
+	}
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		return
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		lt := pass.TypesInfo.Types[as.Lhs[i]].Type
+		if lt == nil {
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					lt = obj.Type()
+				}
+			}
+		}
+		rt := pass.TypesInfo.Types[as.Rhs[i]].Type
+		if lt != nil && rt != nil && isInterface(lt) && !isInterface(rt) && !isUntypedNil(pass, as.Rhs[i]) {
+			reportAlloc(pass, as.Rhs[i].Pos(), "interface assignment (boxing)")
+		}
+	}
+}
+
+func isBuiltin(pass *Pass, id *ast.Ident) bool {
+	_, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func isString(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isUntypedNil(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// allocatingStringConversion reports string <-> []byte/[]rune conversions.
+func allocatingStringConversion(to, from types.Type) bool {
+	if from == nil {
+		return false
+	}
+	toStr := isStringType(to)
+	fromStr := isStringType(from)
+	toSlice := isByteOrRuneSlice(to)
+	fromSlice := isByteOrRuneSlice(from)
+	return (toStr && fromSlice) || (toSlice && fromStr)
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

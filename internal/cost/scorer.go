@@ -94,15 +94,26 @@ func (s *Scorer) Sys() *topology.System { return s.sys }
 
 // StepTime predicts the duration of one lowered step under m, exactly as
 // m.StepTime would. m.Sys must be the scorer's system.
+//
+//p2:zeroalloc
 func (s *Scorer) StepTime(m *Model, st lower.Step) float64 {
 	return s.StepTimeAlgo(m, st, m.Algo)
 }
 
+// panicModelMismatch is the cold failure path of StepTimeAlgo, kept out
+// of the //p2:zeroalloc hot function so its formatting does not count
+// against the zero-allocation guarantee.
+func (s *Scorer) panicModelMismatch(m *Model) {
+	panic(fmt.Sprintf("cost: Scorer for %q used with model for %q", s.sys.Name, m.Sys.Name))
+}
+
 // StepTimeAlgo is StepTime under an explicit algorithm, the allocation-free
 // equivalent of Model.StepTimeAlgo.
+//
+//p2:zeroalloc
 func (s *Scorer) StepTimeAlgo(m *Model, st lower.Step, algo Algorithm) float64 {
 	if m.Sys != s.sys {
-		panic(fmt.Sprintf("cost: Scorer for %q used with model for %q", s.sys.Name, m.Sys.Name))
+		s.panicModelMismatch(m)
 	}
 	perDevice := st.FracIn() * m.Bytes
 	s.maxLat = 0
@@ -131,6 +142,8 @@ func (s *Scorer) StepTimeAlgo(m *Model, st lower.Step, algo Algorithm) float64 {
 
 // ProgramTime sums the step times of a lowered program, exactly as
 // m.ProgramTime would.
+//
+//p2:zeroalloc
 func (s *Scorer) ProgramTime(m *Model, p *lower.Program) float64 {
 	total := 0.0
 	for _, st := range p.Steps {
@@ -139,9 +152,19 @@ func (s *Scorer) ProgramTime(m *Model, p *lower.Program) float64 {
 	return total
 }
 
+// panicUnknownOp is addGroup's cold failure path, kept out of the
+// //p2:zeroalloc hot function (see panicModelMismatch).
+func panicUnknownOp(op collective.Op) {
+	panic(fmt.Sprintf("cost: unknown op %v", op))
+}
+
 // addGroup accumulates one group's schedule into the traffic scratch and
 // returns its pipeline round count. The dispatch mirrors Model.schedule,
-// including the byte arithmetic, expression for expression.
+// including the byte arithmetic, expression for expression. The structural
+// schedule cache it consults allocates only on first sight of a (kind,
+// size, bytes) shape — a miss is outside the steady-state scoring path.
+//
+//p2:zeroalloc
 func (s *Scorer) addGroup(op collective.Op, algo Algorithm, g []int, perDevice float64) int {
 	n := len(g)
 	switch op {
@@ -177,7 +200,8 @@ func (s *Scorer) addGroup(op collective.Op, algo Algorithm, g []int, perDevice f
 		s.addRel(g, s.structural(schedChain, n, perDevice))
 		return n - 1
 	default:
-		panic(fmt.Sprintf("cost: unknown op %v", op))
+		panicUnknownOp(op)
+		return 0
 	}
 }
 
@@ -223,6 +247,8 @@ func (s *Scorer) structural(kind schedKind, n int, bytes float64) []relEdge {
 }
 
 // addRel replays cached relative edges over the concrete group.
+//
+//p2:zeroalloc
 func (s *Scorer) addRel(g []int, edges []relEdge) {
 	for _, e := range edges {
 		s.addEdge(g[e.a], g[e.b], e.bytes)
@@ -233,6 +259,8 @@ func (s *Scorer) addRel(g []int, edges []relEdge) {
 // TreeLinks' edge order (binary tree across partition heads in
 // first-occurrence order, then chains within partitions) without its
 // allocations.
+//
+//p2:zeroalloc
 func (s *Scorer) addTree(g []int, bytes float64) {
 	span := s.sys.GroupSpanLevel(g)
 	if span < 0 {
@@ -245,14 +273,14 @@ func (s *Scorer) addTree(g []int, bytes float64) {
 		if s.partGen[e] != s.gen {
 			s.partGen[e] = s.gen
 			if np == len(s.parts) {
-				s.parts = append(s.parts, nil)
+				s.parts = append(s.parts, nil) //p2:alloc-ok bucket-list growth is amortized across steps; steady state reuses the buckets
 			}
 			s.parts[np] = s.parts[np][:0]
 			s.partOf[e] = np
 			np++
 		}
 		pi := s.partOf[e]
-		s.parts[pi] = append(s.parts[pi], d)
+		s.parts[pi] = append(s.parts[pi], d) //p2:alloc-ok buckets are reset to [:0] and their capacity reused; growth is amortized
 	}
 	for i := 1; i < np; i++ {
 		s.addEdge(s.parts[(i-1)/2][0], s.parts[i][0], bytes)
@@ -268,6 +296,8 @@ func (s *Scorer) addTree(g []int, bytes float64) {
 // addEdge routes one transfer through the uplinks it traverses — the body
 // of Model.StepTime's accumulation loop, accumulating into the dirty-
 // tracked scratch instead of a fresh slice.
+//
+//p2:zeroalloc
 func (s *Scorer) addEdge(a, b int, bytes float64) {
 	ldiv := s.sys.DivergenceLevel(a, b)
 	if ldiv < 0 {
@@ -302,9 +332,12 @@ func (s *Scorer) addEdge(a, b int, bytes float64) {
 // sizes, so a touched entry is nonzero unless every contribution was zero
 // — in which case leaving it off the dirty list is harmless (it is already
 // zero for the next step).
+//
+//p2:zeroalloc
 func (s *Scorer) bump(i int, bytes float64) {
+	//p2:nan-ok traffic accumulates validated finite transfer sizes; exact 0 marks an untouched entry
 	if s.traffic[i] == 0 {
-		s.dirty = append(s.dirty, i)
+		s.dirty = append(s.dirty, i) //p2:alloc-ok dirty list is reset to [:0] per step and its capacity reused; growth is amortized
 	}
 	s.traffic[i] += bytes
 }

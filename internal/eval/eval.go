@@ -303,7 +303,7 @@ func Run(cfg Config) (*Result, error) {
 				return nil, fmt.Errorf("eval: lowering %v for %v: %w", p, m, err)
 			}
 			pr := ProgramResult{Program: p, Lowered: lp, Algo: algo}
-			t0 := time.Now()
+			t0 := time.Now() //p2:timing-ok SimulationTime is a reported wall-clock total, never ranked
 			if len(cfg.Algos) > 1 {
 				stepAlgos, pred := model.BestStepAlgos(lp, cfg.Algos)
 				pr.Predicted = pred
@@ -315,12 +315,12 @@ func Run(cfg Config) (*Result, error) {
 			} else {
 				pr.Predicted = model.ProgramTime(lp)
 			}
-			res.SimulationTime += time.Since(t0)
-			t1 := time.Now()
+			res.SimulationTime += time.Since(t0) //p2:timing-ok SimulationTime is a reported wall-clock total, never ranked
+			t1 := time.Now()                     //p2:timing-ok MeasureTime is a reported wall-clock total, never ranked
 			simAlgo := *sim
 			simAlgo.Algo = pr.Algo
 			pr.Measured = simAlgo.MeasureSteps(lp, pr.StepAlgos)
-			res.MeasureTime += time.Since(t1)
+			res.MeasureTime += time.Since(t1) //p2:timing-ok MeasureTime is a reported wall-clock total, never ranked
 			if p.String() == baselineStr {
 				mr.BaselineIdx = len(mr.Programs)
 			}

@@ -220,6 +220,7 @@ func (s *Simulator) MeasureConcurrentSpecs(specs []ConcurrentSpec) []float64 {
 				started:   now,
 			}
 			for _, ri := range tr.paths {
+				//p2:nan-ok link rates are validated finite by (*System).init; exact 0 is the down-link sentinel
 				if resources[ri].bandwidth == 0 {
 					tr.stalled = true
 				}

@@ -71,9 +71,11 @@ const (
 // mean "default", with DisableNoise / DisableLaunchOverhead as the
 // explicit-zero sentinels.
 func (o Options) effective() Options {
+	//p2:nan-ok exact zero is the documented default sentinel; DisableNoise carries explicit zero
 	if o.NoiseFrac == 0 {
 		o.NoiseFrac = defaultNoiseFrac
 	}
+	//p2:nan-ok exact zero is the documented default sentinel; DisableLaunchOverhead carries explicit zero
 	if o.LaunchOverhead == 0 {
 		o.LaunchOverhead = defaultLaunchOverhead
 	}
@@ -285,6 +287,7 @@ func (s *Simulator) runStep(st lower.Step, algo cost.Algorithm, stepIdx int, bas
 				started:   now,
 			}
 			for _, ri := range tr.paths {
+				//p2:nan-ok link rates are validated finite by (*System).init; exact 0 is the down-link sentinel
 				if resources[ri].bandwidth == 0 {
 					tr.stalled = true
 				}
@@ -598,6 +601,7 @@ func mergeGroups(a, b [][]int) [][]int {
 	}
 	comps := map[int][]int{}
 	var roots []int
+	//p2:order-independent components and their members are fully sorted before return; the ragged-size nil outcome is order-invariant
 	for x := range parent {
 		r := find(x)
 		if _, ok := comps[r]; !ok {

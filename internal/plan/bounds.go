@@ -50,17 +50,48 @@ const boundSafety = 1 - 1e-9
 // ReduceScatter/AllReduce/AllGather strategy on two-level systems, which
 // is what makes it useful: placements whose best program is far from the
 // incumbent top-K are provably outside it without synthesizing anything.
+//
+// placementBound is the scratch-free convenience wrapper used by tests
+// and one-shot callers; the engine's workers call boundScratch's method
+// so the per-entity split counters and the entity-id scratch are reused
+// across the thousands of placements of one run instead of reallocated
+// per bound.
 func placementBound(sys *topology.System, h *hierarchy.Hierarchy, bytes float64) float64 {
-	if bytes <= 0 {
+	var bs boundScratch
+	return bs.placementBound(sys, h, bytes)
+}
+
+// boundScratch is per-worker reusable scratch for placementBound: splits
+// holds the per-entity split-group counters (zeroed again by the final
+// max-scan before every return), ents the distinct entity ids of one
+// group at one level. The zero value is ready to use.
+type boundScratch struct {
+	splits []int
+	ents   []int
+}
+
+// placementBound computes the admissible bound documented above with zero
+// steady-state allocations: scratch grows to the largest system seen and
+// is reused, and every splits entry the computation dirties is re-zeroed
+// by the final scan, so the scratch is clean for the next placement.
+//
+//p2:zeroalloc
+func (bs *boundScratch) placementBound(sys *topology.System, h *hierarchy.Hierarchy, bytes float64) float64 {
+	// NaN-proof form: a NaN payload must take the degenerate branch (bound
+	// 0 prunes nothing) instead of poisoning the bound arithmetic.
+	if !(bytes > 0) {
 		return 0
 	}
 	L := sys.NumLevels()
 	offsets := sys.EntityOffsets()
-	splits := make([]int, offsets[L])
+	if cap(bs.splits) < offsets[L] {
+		bs.splits = make([]int, offsets[L]) //p2:alloc-ok scratch growth to the largest system seen, amortized across a run's placements
+	}
+	splits := bs.splits[:offsets[L]]
 	crossed := L // root-most level any group spans (L = none)
 
 	reps := h.Replicas()
-	var ents []int // scratch: distinct entity ids of one group at one level
+	ents := bs.ents[:0] // scratch: distinct entity ids of one group at one level
 	for u, grp := range h.Groups {
 		if len(grp) < 2 || grp[0] != u {
 			// Singleton groups need no communication; non-minimal members
@@ -80,7 +111,7 @@ func placementBound(sys *topology.System, h *hierarchy.Hierarchy, bytes float64)
 						}
 					}
 					if !known {
-						ents = append(ents, e)
+						ents = append(ents, e) //p2:alloc-ok scratch growth is amortized; capacity is persisted to bs.ents and reused
 					}
 				}
 				if len(ents) < 2 {
@@ -95,15 +126,21 @@ func placementBound(sys *topology.System, h *hierarchy.Hierarchy, bytes float64)
 			}
 		}
 	}
+	// Persist any append growth so the capacity is reused next placement.
+	bs.ents = ents[:0]
 
 	worst := 0.0
 	for l := 0; l < L; l++ {
-		for e, n := range splits[offsets[l]:offsets[l+1]] {
+		sub := splits[offsets[l]:offsets[l+1]]
+		for e, n := range sub {
 			if n == 0 {
 				// Skip untouched entities: besides the scan cost, a down
 				// link (effective bandwidth 0) would make 0/0 a NaN here.
 				continue
 			}
+			// Re-zero the dirtied counter so the scratch is clean for the
+			// next placement; untouched entries are already zero.
+			sub[e] = 0
 			// Per-entity effective bandwidth keeps the bound admissible —
 			// and tighter than a worst-case-per-level bandwidth would —
 			// because the flow argument above is already per-entity: entity

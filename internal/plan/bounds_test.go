@@ -177,6 +177,45 @@ func TestPlacementBoundTightOnHierarchicalStrategy(t *testing.T) {
 	}
 }
 
+// TestPlacementBoundZeroAlloc locks the boundScratch refactor: after the
+// first call grows the scratch to the system's size, every further bound
+// — including on different placements, which exercise different splits
+// entries — must allocate nothing and agree exactly with a fresh-scratch
+// evaluation (i.e. the zero-on-exit discipline leaves no stale counters).
+func TestPlacementBoundZeroAlloc(t *testing.T) {
+	sys := topology.SuperPodSystem(2, 2)
+	matrices, err := placement.Enumerate(sys.Hierarchy(), []int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytes := cost.DefaultPayload(sys)
+	hs := make([]*hierarchy.Hierarchy, len(matrices))
+	for i, m := range matrices {
+		h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, []int{0}, hierarchy.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs[i] = h
+	}
+	want := make([]float64, len(hs))
+	for i, h := range hs {
+		want[i] = placementBound(sys, h, bytes) // fresh scratch each call
+	}
+	var bs boundScratch
+	bs.placementBound(sys, hs[0], bytes) // warm-up: grow scratch once
+	i := 0
+	allocs := testing.AllocsPerRun(len(hs)*2, func() {
+		j := i % len(hs)
+		i++
+		if got := bs.placementBound(sys, hs[j], bytes); got != want[j] {
+			t.Fatalf("reused scratch bound %v != fresh scratch bound %v (stale state?)", got, want[j])
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("placementBound allocates %v times per call on warm scratch, want 0", allocs)
+	}
+}
+
 // TestMemoCap: a capped planner must return identical results while
 // keeping the memo bounded (extra signatures synthesize uncached).
 func TestMemoCap(t *testing.T) {

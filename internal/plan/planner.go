@@ -109,6 +109,7 @@ type Candidate struct {
 // serial path's stable sort by Predicted, so ranking by Less reproduces
 // the serial ranking exactly.
 func Less(a, b *Candidate) bool {
+	//p2:nan-ok predictions are never NaN: validated links yield finite times, down links +Inf
 	if a.Predicted != b.Predicted {
 		return a.Predicted < b.Predicted
 	}
@@ -285,9 +286,11 @@ func (t *threshold) tighten(v float64) {
 }
 
 // workerState is per-worker scratch: reusable zero-alloc scorers, one per
-// distinct system seen (a run almost always has exactly one).
+// distinct system seen (a run almost always has exactly one), and the
+// placement-bound scratch reused across every placement the worker prunes.
 type workerState struct {
 	scorers map[*topology.System]*cost.Scorer
+	bounds  boundScratch
 }
 
 func (ws *workerState) scorer(sys *topology.System) *cost.Scorer {
@@ -412,7 +415,7 @@ func (p *Planner) planMatrix(ws *workerState, mi int, m *placement.Matrix, reduc
 		return err
 	}
 	prune := opts.TopK > 0
-	if prune && placementBound(model.Sys, h, model.Bytes) > thr.load() {
+	if prune && ws.bounds.placementBound(model.Sys, h, model.Bytes) > thr.load() {
 		rc.prunedPlacements.Add(1)
 		return nil
 	}
@@ -559,7 +562,9 @@ type JointSpec struct {
 
 // weight resolves the defaulted occurrence count.
 func (s JointSpec) weight() float64 {
-	if s.Weight <= 0 {
+	// NaN-proof form: NaN (like zero and negatives) defaults to 1 instead
+	// of poisoning every weighted total.
+	if !(s.Weight > 0) {
 		return 1
 	}
 	return s.Weight
@@ -595,6 +600,7 @@ type JointCandidate struct {
 // jointLess orders joint candidates by total, breaking ties by placement
 // enumeration order (matching the serial stable sort).
 func jointLess(a, b *JointCandidate) bool {
+	//p2:nan-ok totals are weighted sums of never-NaN predictions (finite or +Inf)
 	if a.Total != b.Total {
 		return a.Total < b.Total
 	}
@@ -684,7 +690,7 @@ func (p *Planner) RunJoint(matrices []*placement.Matrix, reds []JointSpec, opts 
 			}
 			hs[ri] = h
 			if prune {
-				bounds[ri] = red.weight() * placementBound(red.Model.Sys, h, red.Model.Bytes)
+				bounds[ri] = red.weight() * ws.bounds.placementBound(red.Model.Sys, h, red.Model.Bytes)
 			}
 		}
 		if prune {
@@ -829,6 +835,7 @@ func fanOut[T any](opts Options, stream func(func(*placement.Matrix) bool) error
 			}
 		}
 		mu.Lock()
+		//p2:order-independent per-worker keeps are merged by a full deterministic sort in mergeRanked
 		perWorker = append(perWorker, keep.items())
 		mu.Unlock()
 	}

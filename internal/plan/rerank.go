@@ -73,6 +73,7 @@ func ParseRerankMode(s string) (RerankMode, error) {
 // level: both the measured values (netsim is deterministic) and the
 // tie-break are pure functions of the request.
 func measuredLess(a, b *Candidate) bool {
+	//p2:nan-ok emulated times are never NaN: netsim returns finite times or +Inf (stalled down links)
 	if a.Measured != b.Measured {
 		return a.Measured < b.Measured
 	}
@@ -172,6 +173,7 @@ func rerankJoint(jcs []*JointCandidate, reds []JointSpec, opts Options, stats *S
 	}
 	stats.RankInversions += CountInversions(totals)
 	sort.Slice(jcs, func(i, j int) bool {
+		//p2:nan-ok measured totals are weighted sums of never-NaN emulated times (finite or +Inf)
 		if jcs[i].MeasuredTotal != jcs[j].MeasuredTotal {
 			return jcs[i].MeasuredTotal < jcs[j].MeasuredTotal
 		}

@@ -54,6 +54,7 @@ func Chart(title string, series []Series, opts Options) string {
 			maxN = len(s.Values)
 		}
 		for _, v := range s.Values {
+			//p2:nan-ok the IsNaN arm already routes NaN to the skip branch
 			if math.IsNaN(v) || (opts.LogY && v <= 0) {
 				continue
 			}
@@ -76,6 +77,7 @@ func Chart(title string, series []Series, opts Options) string {
 		}
 	}
 	ylo, yhi := yf(lo), yf(hi)
+	//p2:nan-ok lo/hi are minima/maxima over IsNaN-filtered values
 	if yhi == ylo {
 		yhi = ylo + 1
 	}
@@ -86,6 +88,7 @@ func Chart(title string, series []Series, opts Options) string {
 	}
 	for _, s := range series {
 		for i, v := range s.Values {
+			//p2:nan-ok the IsNaN arm already routes NaN to the skip branch
 			if math.IsNaN(v) || (opts.LogY && v <= 0) {
 				continue
 			}

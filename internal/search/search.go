@@ -185,6 +185,7 @@ type nodeHeap []item
 
 func (h nodeHeap) Len() int { return len(h) }
 func (h nodeHeap) Less(i, j int) bool {
+	//p2:nan-ok node costs are model predictions, never NaN (finite or +Inf on down links)
 	if h[i].cost != h[j].cost {
 		return h[i].cost < h[j].cost
 	}

@@ -38,6 +38,7 @@ type LinkOverride struct {
 
 // Pristine reports whether the override leaves the link unchanged.
 func (o LinkOverride) Pristine() bool {
+	//p2:nan-ok NaN fields are rejected by validate before any Pristine-gated fast path is taken
 	return o.BandwidthScale == 1 && o.LatencyScale == 1 && o.LossFrac == 0
 }
 
@@ -345,6 +346,7 @@ func applyFaultEffect(o *LinkOverride, eff string) error {
 			return fmt.Errorf("malformed effect %q (want e.g. bw/10, bw*0.5, lat*4)", eff)
 		}
 		v, err := strconv.ParseFloat(rest[1:], 64)
+		//p2:nan-ok a NaN factor (bw/NaN) yields a NaN scale, rejected downstream by LinkOverride.validate
 		if err != nil || v == 0 && rest[0] == '/' {
 			return fmt.Errorf("malformed effect %q (want e.g. bw/10, bw*0.5, lat*4)", eff)
 		}

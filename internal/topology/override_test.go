@@ -10,10 +10,10 @@ import (
 func TestWithOverridesEffectiveLinks(t *testing.T) {
 	s := A100System(2) // [node 2][gpu 16]
 	d := s.MustWithOverrides(
-		Throttle(1, 5, 10),     // GPU entity 5's NVSwitch uplink at a tenth
-		Slow(0, 1, 4),          // node 1's NIC at 4x latency
-		Lossy(1, 5, 0.5),       // composes with the throttle: x0.1 x0.5
-		Down(0, 0),             // node 0's NIC out of service
+		Throttle(1, 5, 10), // GPU entity 5's NVSwitch uplink at a tenth
+		Slow(0, 1, 4),      // node 1's NIC at 4x latency
+		Lossy(1, 5, 0.5),   // composes with the throttle: x0.1 x0.5
+		Down(0, 0),         // node 0's NIC out of service
 		LinkOverride{Level: 1, Entity: 2, BandwidthScale: 1, LatencyScale: 1}, // pristine no-op
 	)
 	if !d.HasOverrides() {

@@ -187,6 +187,7 @@ func (m *Machine) heldChunks(g []int) []int {
 
 func chunkZero(xs []float64) bool {
 	for _, x := range xs {
+		//p2:nan-ok concrete verification data; a NaN element correctly reports the chunk nonzero
 		if x != 0 {
 			return false
 		}

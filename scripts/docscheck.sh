@@ -5,6 +5,10 @@
 #     space, backtick or parenthesis) is actually defined by cmd/p2.
 #  2. DESIGN.md's "Contents" index matches its numbered "## N." section
 #     headers exactly, both ways.
+#  3. The //p2: annotation markers documented in DESIGN.md §10, the set
+#     internal/analysis accepts, and the set used in the tree agree:
+#     every documented marker appears in the source tree, and every
+#     marker used anywhere is documented.
 #
 # Exit status is non-zero on any mismatch, printing what drifted.
 set -eu
@@ -53,7 +57,44 @@ elif [ "$toc" != "$headers" ]; then
   fail=1
 fi
 
+# --- 3. //p2: annotation markers: DESIGN.md §10 vs the tree -----------------
+# Documented markers: backticked `//p2:name ...` occurrences in DESIGN.md.
+documented=$(grep -oE '`//p2:[a-z-]+' DESIGN.md | sed 's|.*//p2:||' | sort -u)
+# Markers the analyzers accept: the Marker constants in analysis.go.
+accepted=$(grep -oE 'Marker = "[a-z-]+"' internal/analysis/analysis.go \
+  | sed 's/.*"\(.*\)"/\1/' | sort -u)
+# Markers used in Go sources (the annot fixture's deliberate typo lives in
+# internal/analysis/testdata and is excluded along with the analyzer
+# sources themselves, which name markers in prose and diagnostics).
+used=$(grep -rhoE '//p2:[a-z-]+' --include='*.go' --exclude-dir=analysis . \
+  | sed 's|//p2:||' | sort -u)
+
+if [ -z "$documented" ]; then
+  echo "docscheck: DESIGN.md documents no //p2: annotation markers (expected in §10)" >&2
+  fail=1
+fi
+if [ "$documented" != "$accepted" ]; then
+  echo "docscheck: DESIGN.md §10 markers and internal/analysis Marker constants disagree:" >&2
+  echo "--- DESIGN.md §10 ---" >&2
+  printf '%s\n' "$documented" >&2
+  echo "--- analysis.go -----" >&2
+  printf '%s\n' "$accepted" >&2
+  fail=1
+fi
+for m in $documented; do
+  if ! printf '%s\n' "$used" | grep -qx "$m"; then
+    echo "docscheck: DESIGN.md documents marker //p2:$m, but nothing in the tree uses it" >&2
+    fail=1
+  fi
+done
+for m in $used; do
+  if ! printf '%s\n' "$documented" | grep -qx "$m"; then
+    echo "docscheck: marker //p2:$m is used in the tree but not documented in DESIGN.md §10" >&2
+    fail=1
+  fi
+done
+
 if [ "$fail" -ne 0 ]; then
   exit 1
 fi
-echo "docscheck: OK (README flags consistent with cmd/p2; DESIGN.md index matches headers)"
+echo "docscheck: OK (README flags consistent with cmd/p2; DESIGN.md index matches headers; //p2: markers documented, accepted and used consistently)"
