@@ -1,14 +1,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
 	"runtime/pprof"
-	"strconv"
 	"strings"
+	"time"
 
 	"p2"
 	"p2/internal/cost"
@@ -37,13 +38,17 @@ type commonFlags struct {
 	topk        *int
 	bytes       *float64
 	measure     *string
+	timeout     *time.Duration
 	stats       *bool
 	cpuprofile  *string
 }
 
-func newCommon(name string, out io.Writer) *commonFlags {
+// newCommon builds a subcommand's flag set. Flag-parse errors and usage
+// go to errOut (stderr in production): stdout stays reserved for command
+// output, so piping a failed invocation never mixes diagnostics into it.
+func newCommon(name string, errOut io.Writer) *commonFlags {
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
-	fs.SetOutput(out)
+	fs.SetOutput(errOut)
 	return &commonFlags{
 		fs:          fs,
 		sysName:     fs.String("system", "a100", "system preset: a100, v100, fig2a, or superpod[:PxN] (P pods × N nodes, default 2x4)"),
@@ -56,6 +61,7 @@ func newCommon(name string, out io.Writer) *commonFlags {
 		topk:        fs.Int("topk", 0, "keep only the K fastest-predicted strategies (0 = all); also arms bound pruning"),
 		bytes:       fs.Float64("bytes", 0, "per-device payload in bytes (0 = paper default, 2^29 × machines float32)"),
 		measure:     fs.String("measure", "off", "measured-in-the-loop planning: off, rerank (re-rank the analytic top-K on the emulator), or rank-all (measure every candidate)"),
+		timeout:     fs.Duration("timeout", 0, "planning deadline, e.g. 500ms; past it ranking commands return the best-so-far ranking labeled PARTIAL, sweep commands abort (0 = none)"),
 		stats:       fs.Bool("stats", false, "report planning-engine statistics (memoization, pruning and measurement counters)"),
 		cpuprofile:  fs.String("cpuprofile", "", "write a CPU profile of the command to this file"),
 	}
@@ -104,6 +110,25 @@ func (c *commonFlags) printStats(out io.Writer, s plan.Stats) {
 // measureMode parses the -measure flag.
 func (c *commonFlags) measureMode() (p2.MeasureMode, error) {
 	return p2.ParseMeasureMode(*c.measure)
+}
+
+// planCtx returns the command's planning context: Background, bounded by
+// -timeout when set. The caller must invoke the cancel function.
+func (c *commonFlags) planCtx() (context.Context, context.CancelFunc) {
+	if *c.timeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), *c.timeout)
+}
+
+// requireNoTimeout rejects -timeout on commands that never plan —
+// silently ignoring it would let the user believe the deadline was
+// enforced.
+func (c *commonFlags) requireNoTimeout(path string) error {
+	if *c.timeout != 0 {
+		return fmt.Errorf("-timeout has no effect on %s", path)
+	}
+	return nil
 }
 
 // requireNoMeasure rejects -measure on commands whose output it cannot
@@ -168,50 +193,13 @@ func (c *commonFlags) parsed() (axes, red []int, algo cost.Algorithm, algos []co
 }
 
 func buildSystem(name string, nodes int) (*topology.System, error) {
-	lname := strings.ToLower(name)
-	if shape, ok := strings.CutPrefix(lname, "superpod"); ok {
-		pods, nodesPerPod := 2, 4
-		if shape != "" {
-			var err error
-			if pods, nodesPerPod, err = parseSuperPodShape(shape); err != nil {
-				return nil, err
-			}
-		}
-		return topology.SuperPodSystem(pods, nodesPerPod), nil
-	}
-	switch lname {
-	case "a100":
-		return topology.A100System(nodes), nil
-	case "v100":
-		return topology.V100System(nodes), nil
-	case "fig2a":
-		return topology.Fig2aSystem(), nil
-	default:
-		return nil, fmt.Errorf("unknown system %q (want a100, v100, fig2a or superpod[:PxN])", name)
-	}
+	return p2.ParseSystem(name, nodes)
 }
 
-// parseSuperPodShape parses the ":PxN" suffix of -system superpod:PxN.
-func parseSuperPodShape(shape string) (pods, nodesPerPod int, err error) {
-	rest, ok := strings.CutPrefix(shape, ":")
-	if !ok {
-		return 0, 0, fmt.Errorf("malformed superpod shape %q (want superpod:PxN, e.g. superpod:4x8)", shape)
-	}
-	p, n, ok := strings.Cut(rest, "x")
-	if !ok {
-		return 0, 0, fmt.Errorf("malformed superpod shape %q (want superpod:PxN, e.g. superpod:4x8)", shape)
-	}
-	if pods, err = strconv.Atoi(p); err == nil {
-		nodesPerPod, err = strconv.Atoi(n)
-	}
-	if err != nil || pods <= 0 || nodesPerPod <= 0 {
-		return 0, 0, fmt.Errorf("malformed superpod shape %q (want superpod:PxN, e.g. superpod:4x8)", shape)
-	}
-	return pods, nodesPerPod, nil
-}
-
-// planFor wraps p2.Plan with optional matrix restriction and engine
-// options from the CLI flags.
+// planFor wraps p2.PlanCtx with optional matrix restriction and engine
+// options from the CLI flags; -timeout bounds the plan, and past it the
+// result comes back with Partial set (the anytime contract — callers
+// label it).
 func (c *commonFlags) planFor(sys *topology.System, axes, red []int, algo cost.Algorithm, algos []cost.Algorithm) (*p2.PlanResult, error) {
 	measure, err := c.measureMode()
 	if err != nil {
@@ -226,12 +214,17 @@ func (c *commonFlags) planFor(sys *topology.System, axes, red []int, algo cost.A
 		}
 		req.Matrix = m
 	}
-	return p2.Plan(sys, req)
+	ctx, cancel := c.planCtx()
+	defer cancel()
+	return p2.PlanCtx(ctx, sys, req)
 }
 
-func cmdPlacements(args []string, out io.Writer) error {
-	c := newCommon("placements", out)
+func cmdPlacements(args []string, out, errOut io.Writer) error {
+	c := newCommon("placements", errOut)
 	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	if err := c.requireNoTimeout(`"placements" (it only enumerates matrices)`); err != nil {
 		return err
 	}
 	sys, err := c.system()
@@ -265,8 +258,8 @@ func cmdPlacements(args []string, out io.Writer) error {
 	})
 }
 
-func cmdSynth(args []string, out io.Writer) error {
-	c := newCommon("synth", out)
+func cmdSynth(args []string, out, errOut io.Writer) error {
+	c := newCommon("synth", errOut)
 	top := c.fs.Int("top", 10, "show only the fastest-predicted N programs (0 = all)")
 	if err := c.fs.Parse(args); err != nil {
 		return err
@@ -283,6 +276,9 @@ func cmdSynth(args []string, out io.Writer) error {
 		plan, err := c.planFor(sys, axes, red, algo, algos)
 		if err != nil {
 			return err
+		}
+		if plan.Partial {
+			fmt.Fprintln(out, "PARTIAL: -timeout expired mid-plan; this is the best-so-far ranking, not necessarily a prefix of the full one")
 		}
 		measured := plan.Request.Measure != p2.MeasureOff
 		n := len(plan.Strategies)
@@ -309,8 +305,8 @@ func cmdSynth(args []string, out io.Writer) error {
 	})
 }
 
-func cmdEval(args []string, out io.Writer) error {
-	c := newCommon("eval", out)
+func cmdEval(args []string, out, errOut io.Writer) error {
+	c := newCommon("eval", errOut)
 	tsv := c.fs.Bool("tsv", false, "emit TSV instead of markdown")
 	if err := c.fs.Parse(args); err != nil {
 		return err
@@ -331,17 +327,19 @@ func cmdEval(args []string, out io.Writer) error {
 	}
 	cfg := eval.Config{Sys: sys, Axes: axes, ReduceAxes: red, Algo: algo, Algos: algos, Bytes: *c.bytes}
 	return c.profiled(func() error {
+		ctx, cancel := c.planCtx()
+		defer cancel()
 		if len(algos) > 1 {
 			// Auto mode: contrast the searched per-step assignment against
 			// the paper's pinned Ring and Tree sweeps.
-			ring, tree, auto, err := eval.RunAutoComparison(cfg)
+			ring, tree, auto, err := eval.RunAutoComparisonCtx(ctx, cfg)
 			if err != nil {
 				return err
 			}
 			emit(out, eval.BuildAutoComparison(ring, tree, auto), *tsv)
 			return nil
 		}
-		r, err := eval.Run(cfg)
+		r, err := eval.RunCtx(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -350,8 +348,8 @@ func cmdEval(args []string, out io.Writer) error {
 	})
 }
 
-func cmdExport(args []string, out io.Writer) error {
-	c := newCommon("export", out)
+func cmdExport(args []string, out, errOut io.Writer) error {
+	c := newCommon("export", errOut)
 	if err := c.fs.Parse(args); err != nil {
 		return err
 	}
@@ -370,7 +368,9 @@ func cmdExport(args []string, out io.Writer) error {
 		return err
 	}
 	return c.profiled(func() error {
-		r, err := eval.Run(eval.Config{Sys: sys, Axes: axes, ReduceAxes: red, Algo: algo, Algos: algos, Bytes: *c.bytes})
+		ctx, cancel := c.planCtx()
+		defer cancel()
+		r, err := eval.RunCtx(ctx, eval.Config{Sys: sys, Axes: axes, ReduceAxes: red, Algo: algo, Algos: algos, Bytes: *c.bytes})
 		if err != nil {
 			return err
 		}
@@ -383,8 +383,8 @@ func cmdExport(args []string, out io.Writer) error {
 	})
 }
 
-func cmdHLO(args []string, out io.Writer) error {
-	c := newCommon("hlo", out)
+func cmdHLO(args []string, out, errOut io.Writer) error {
+	c := newCommon("hlo", errOut)
 	progStr := c.fs.String("program", "", `program text, e.g. "(0, InsideGroup, AllReduce)"; empty = best predicted`)
 	elems := c.fs.Int("elems", 1<<22, "per-device f32 element count")
 	if err := c.fs.Parse(args); err != nil {
@@ -414,6 +414,9 @@ func cmdHLO(args []string, out io.Writer) error {
 		if err := c.requireNoMeasure(`"hlo -program" (nothing is planned)`); err != nil {
 			return err
 		}
+		if err := c.requireNoTimeout(`"hlo -program" (nothing is planned)`); err != nil {
+			return err
+		}
 	}
 	return c.profiled(func() error {
 		m, err := placement.ParseMatrix(*c.matrix, sys.Hierarchy(), axes)
@@ -439,6 +442,11 @@ func cmdHLO(args []string, out io.Writer) error {
 			if err != nil {
 				return err
 			}
+			if plan.Partial {
+				// The module text must stay machine-parseable, so the anytime
+				// caveat goes to stderr.
+				fmt.Fprintln(errOut, "p2: PARTIAL: -timeout expired mid-plan; emitting the best-so-far strategy")
+			}
 			lp = plan.Best().Lowered()
 		}
 		src, err := xla.Emit(lp, *elems)
@@ -450,10 +458,13 @@ func cmdHLO(args []string, out io.Writer) error {
 	})
 }
 
-func cmdVerify(args []string, out io.Writer) error {
-	c := newCommon("verify", out)
+func cmdVerify(args []string, out, errOut io.Writer) error {
+	c := newCommon("verify", errOut)
 	progStr := c.fs.String("program", "", "verify only this program (empty = all synthesized)")
 	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	if err := c.requireNoTimeout(`"verify" (it executes on small concrete data)`); err != nil {
 		return err
 	}
 	sys, err := c.system()
@@ -518,8 +529,8 @@ func cmdVerify(args []string, out io.Writer) error {
 	})
 }
 
-func cmdTrace(args []string, out io.Writer) error {
-	c := newCommon("trace", out)
+func cmdTrace(args []string, out, errOut io.Writer) error {
+	c := newCommon("trace", errOut)
 	progStr := c.fs.String("program", "", "program text; empty = best predicted")
 	outPath := c.fs.String("o", "", "write Chrome trace JSON to this file (default stdout)")
 	summary := c.fs.Bool("summary", false, "print a per-step summary instead of the JSON")
@@ -543,6 +554,11 @@ func cmdTrace(args []string, out io.Writer) error {
 		plan, err := c.planFor(sys, axes, red, algo, algos)
 		if err != nil {
 			return err
+		}
+		if plan.Partial {
+			// The JSON output must stay machine-parseable, so the anytime
+			// caveat goes to stderr.
+			fmt.Fprintln(errOut, "p2: PARTIAL: -timeout expired mid-plan; tracing the best-so-far strategy")
 		}
 		strat := plan.Best()
 		if *progStr != "" {
@@ -589,8 +605,8 @@ func cmdTrace(args []string, out io.Writer) error {
 	})
 }
 
-func cmdTables(args []string, out io.Writer) error {
-	c := newCommon("tables", out)
+func cmdTables(args []string, out, errOut io.Writer) error {
+	c := newCommon("tables", errOut)
 	table := c.fs.String("table", "4", "which table: 3, 4 or appendix")
 	tsv := c.fs.Bool("tsv", false, "emit TSV instead of markdown")
 	if err := c.fs.Parse(args); err != nil {
@@ -611,6 +627,8 @@ func cmdTables(args []string, out io.Writer) error {
 }
 
 func runTables(c *commonFlags, out io.Writer, table string, tsv bool) error {
+	ctx, cancel := c.planCtx()
+	defer cancel()
 	switch table {
 	case "3":
 		sys, err := c.system()
@@ -634,7 +652,7 @@ func runTables(c *commonFlags, out io.Writer, table string, tsv bool) error {
 			return err
 		}
 		suite := eval.Suite{Sys: sys, Cases: eval.PaperCases(sys.NumDevices(), *c.nodes >= 4)}
-		rs, err := eval.RunSuite(suite, []cost.Algorithm{cost.Ring, cost.Tree})
+		rs, err := eval.RunSuiteCtx(ctx, suite, []cost.Algorithm{cost.Ring, cost.Tree})
 		if err != nil {
 			return err
 		}
@@ -642,7 +660,7 @@ func runTables(c *commonFlags, out io.Writer, table string, tsv bool) error {
 	case "appendix":
 		var all []*eval.Result
 		for _, s := range eval.PaperSuites() {
-			rs, err := eval.RunSuite(s, []cost.Algorithm{cost.Ring, cost.Tree})
+			rs, err := eval.RunSuiteCtx(ctx, s, []cost.Algorithm{cost.Ring, cost.Tree})
 			if err != nil {
 				return err
 			}
@@ -655,9 +673,9 @@ func runTables(c *commonFlags, out io.Writer, table string, tsv bool) error {
 	return nil
 }
 
-func cmdFigure11(args []string, out io.Writer) error {
+func cmdFigure11(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("figure11", flag.ContinueOnError)
-	fs.SetOutput(out)
+	fs.SetOutput(errOut)
 	panel := fs.String("panel", "a", "panel a (V100 ring [2 16] red axis 1) or b (A100 tree [4 2 8] red axes {0,2})")
 	chart := fs.Bool("chart", false, "render an ASCII chart instead of the table")
 	tsv := fs.Bool("tsv", false, "emit TSV instead of markdown")
@@ -687,9 +705,9 @@ func cmdFigure11(args []string, out io.Writer) error {
 	return nil
 }
 
-func cmdAccuracy(args []string, out io.Writer) error {
+func cmdAccuracy(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("accuracy", flag.ContinueOnError)
-	fs.SetOutput(out)
+	fs.SetOutput(errOut)
 	tsv := fs.Bool("tsv", false, "emit TSV instead of markdown")
 	pinnedOnly := fs.Bool("pinned-only", false, "skip the auto-mode sweeps (Ring/Tree rows only; roughly halves the runtime)")
 	jsonOut := fs.Bool("json", false, "emit the auto-mode sweeps as JSON (predicted/measured best per sweep, per-system accuracy and disagreement rate) instead of the table")
@@ -743,8 +761,8 @@ func (f *faultList) Set(v string) error {
 	return nil
 }
 
-func cmdDegrade(args []string, out io.Writer) error {
-	c := newCommon("degrade", out)
+func cmdDegrade(args []string, out, errOut io.Writer) error {
+	c := newCommon("degrade", errOut)
 	var faults faultList
 	c.fs.Var(&faults, "fault", `link fault "LEVEL:ENTITY:EFFECT[,EFFECT...]" — LEVEL a level or uplink name (or index), ENTITY coords like 0/1 (or an entity id, or *), EFFECT one of down, bw*F, bw/F, lat*F, lat/F, loss=F; repeatable, ';' separates clauses`)
 	top := c.fs.Int("top", 10, "show only the N best degraded strategies (0 = all)")
@@ -784,7 +802,9 @@ func cmdDegrade(args []string, out io.Writer) error {
 		algos = []cost.Algorithm{algo}
 	}
 	return c.profiled(func() error {
-		r, err := eval.RunDegrade(eval.DegradeConfig{
+		ctx, cancel := c.planCtx()
+		defer cancel()
+		r, err := eval.RunDegradeCtx(ctx, eval.DegradeConfig{
 			Sys:         sys,
 			Overrides:   overrides,
 			Axes:        axes,

@@ -19,9 +19,13 @@
 //	p2 accuracy
 //	p2 degrade    -system superpod:3x4 -axes "[12 8]" -reduce "[0]" -fault "gpu:0/0/0:bw/10"   # ranking shift under a degraded link
 //	p2 degrade    -system a100 -nodes 4 -axes "[4 16]" -reduce "[0]" -fault "node:2:down"      # re-plan around a down NIC
+//	p2 serve      -addr 127.0.0.1:8080 [-max-inflight N] [-cache-size N] [-request-timeout 2s] [-drain 5s]
+//	p2 synth      -system superpod:4x8 -axes "[16 16]" -reduce "[0]" -timeout 200ms            # anytime: best-so-far past the deadline
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -31,7 +35,11 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// run dispatches a CLI invocation; it is the testable entry point.
+// run dispatches a CLI invocation; it is the testable entry point. The
+// exit-code contract, enforced by TestExitCodeContract: 0 on success
+// (including -h/-help on any subcommand), 1 on any command error —
+// always reported to errOut, never to out — and 2 for usage errors at
+// the dispatch level (no or unknown subcommand).
 func run(args []string, out, errOut io.Writer) int {
 	if len(args) < 1 {
 		usage(errOut)
@@ -41,33 +49,40 @@ func run(args []string, out, errOut io.Writer) int {
 	var err error
 	switch cmd {
 	case "placements":
-		err = cmdPlacements(rest, out)
+		err = cmdPlacements(rest, out, errOut)
 	case "synth":
-		err = cmdSynth(rest, out)
+		err = cmdSynth(rest, out, errOut)
 	case "eval":
-		err = cmdEval(rest, out)
+		err = cmdEval(rest, out, errOut)
 	case "export":
-		err = cmdExport(rest, out)
+		err = cmdExport(rest, out, errOut)
 	case "hlo":
-		err = cmdHLO(rest, out)
+		err = cmdHLO(rest, out, errOut)
 	case "verify":
-		err = cmdVerify(rest, out)
+		err = cmdVerify(rest, out, errOut)
 	case "trace":
-		err = cmdTrace(rest, out)
+		err = cmdTrace(rest, out, errOut)
 	case "tables":
-		err = cmdTables(rest, out)
+		err = cmdTables(rest, out, errOut)
 	case "figure11":
-		err = cmdFigure11(rest, out)
+		err = cmdFigure11(rest, out, errOut)
 	case "accuracy":
-		err = cmdAccuracy(rest, out)
+		err = cmdAccuracy(rest, out, errOut)
 	case "degrade":
-		err = cmdDegrade(rest, out)
+		err = cmdDegrade(rest, out, errOut)
+	case "serve":
+		err = cmdServe(rest, out, errOut)
 	case "help", "-h", "--help":
 		usage(out)
 	default:
 		fmt.Fprintf(errOut, "p2: unknown command %q\n", cmd)
 		usage(errOut)
 		return 2
+	}
+	if errors.Is(err, flag.ErrHelp) {
+		// -h on a subcommand: the FlagSet already printed its usage;
+		// asking for help is not a failure.
+		return 0
 	}
 	if err != nil {
 		fmt.Fprintln(errOut, "p2:", err)
@@ -100,5 +115,8 @@ commands:
   degrade     plan the same request on the pristine and a degraded system
               (-fault "LEVEL:ENTITY:down|bw/F|lat*F|loss=F", repeatable) and
               report the ranking shift (Kendall-tau) plus what re-planning
-              around the fault buys`)
+              around the fault buys
+  serve       run the planning daemon: POST /plan with per-request
+              deadlines (anytime best-so-far results), /healthz, /statz,
+              a cross-request strategy cache and graceful drain on SIGTERM`)
 }

@@ -397,6 +397,115 @@ func TestDegradeDeterministic(t *testing.T) {
 	}
 }
 
+// TestExitCodeContract table-drives the CLI's exit-code contract over
+// every subcommand: -h exits 0, an unknown flag exits 1 with the
+// diagnostic on stderr, and stdout stays clean in both cases so pipes
+// never see usage text or error spew.
+func TestExitCodeContract(t *testing.T) {
+	subcommands := []string{"placements", "synth", "eval", "export", "hlo",
+		"verify", "trace", "tables", "figure11", "accuracy", "degrade", "serve"}
+	for _, cmd := range subcommands {
+		t.Run(cmd+"/help", func(t *testing.T) {
+			out, errOut, code := exec(cmd, "-h")
+			if code != 0 {
+				t.Errorf("%s -h exit = %d, want 0", cmd, code)
+			}
+			if out != "" {
+				t.Errorf("%s -h wrote usage to stdout: %q", cmd, out)
+			}
+			if !strings.Contains(errOut, "-h") && !strings.Contains(errOut, "Usage") {
+				t.Errorf("%s -h printed no usage: %q", cmd, errOut)
+			}
+		})
+		t.Run(cmd+"/bad flag", func(t *testing.T) {
+			out, errOut, code := exec(cmd, "-definitely-not-a-flag")
+			if code != 1 {
+				t.Errorf("%s with unknown flag exit = %d, want 1", cmd, code)
+			}
+			if out != "" {
+				t.Errorf("%s with unknown flag polluted stdout: %q", cmd, out)
+			}
+			if !strings.Contains(errOut, "flag provided but not defined") {
+				t.Errorf("%s with unknown flag stderr: %q", cmd, errOut)
+			}
+		})
+	}
+}
+
+// TestTimeoutExpiredBeforePlanning pins the deterministic end of the
+// -timeout contract: a deadline that is already expired when planning
+// starts scores nothing, so the command fails with the context error
+// rather than fabricating an empty ranking.
+func TestTimeoutExpiredBeforePlanning(t *testing.T) {
+	out, errOut, code := exec("synth", "-system", "a100", "-nodes", "2",
+		"-axes", "[4 8]", "-reduce", "[0]", "-timeout", "1ns")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+	if !strings.Contains(errOut, "deadline") {
+		t.Errorf("stderr does not name the deadline: %q", errOut)
+	}
+}
+
+// TestTimeoutGenerousIsComplete pins the other end: a deadline the plan
+// comfortably beats changes nothing — identical output, no PARTIAL label.
+func TestTimeoutGenerousIsComplete(t *testing.T) {
+	ref, _, code := exec("synth", "-system", "a100", "-nodes", "2",
+		"-axes", "[4 8]", "-reduce", "[0]", "-top", "5")
+	if code != 0 {
+		t.Fatalf("reference run exit = %d", code)
+	}
+	got, errOut, code := exec("synth", "-system", "a100", "-nodes", "2",
+		"-axes", "[4 8]", "-reduce", "[0]", "-top", "5", "-timeout", "10m")
+	if code != 0 {
+		t.Fatalf("exit = %d: %s", code, errOut)
+	}
+	if got != ref {
+		t.Errorf("-timeout 10m changed the output:\n%s\nvs\n%s", got, ref)
+	}
+	if strings.Contains(got, "PARTIAL") {
+		t.Errorf("complete run labeled PARTIAL:\n%s", got)
+	}
+}
+
+// TestTimeoutMidPlan drives a deadline into a large request. Whether the
+// deadline lands before or after the first scored candidate depends on
+// the machine, so both contract outcomes are legal — but each must be
+// well-formed: exit 0 with the ranking (labeled PARTIAL if truncated),
+// or exit 1 naming the deadline.
+func TestTimeoutMidPlan(t *testing.T) {
+	out, errOut, code := exec("synth", "-system", "superpod:4x8",
+		"-axes", "[16 16]", "-reduce", "[0]", "-topk", "3", "-timeout", "150ms")
+	switch code {
+	case 0:
+		if !strings.Contains(out, "strategies") {
+			t.Errorf("exit 0 without a ranking:\n%s", out)
+		}
+	case 1:
+		if !strings.Contains(errOut, "deadline") {
+			t.Errorf("exit 1 without naming the deadline: %q", errOut)
+		}
+	default:
+		t.Errorf("exit = %d, want 0 or 1", code)
+	}
+}
+
+// TestTimeoutRejectedWhereMeaningless checks that commands that never
+// plan refuse -timeout instead of silently ignoring it.
+func TestTimeoutRejectedWhereMeaningless(t *testing.T) {
+	for name, args := range map[string][]string{
+		"placements": {"placements", "-system", "a100", "-nodes", "2", "-axes", "[4 8]", "-timeout", "1s"},
+		"verify": {"verify", "-system", "a100", "-nodes", "2", "-axes", "[4 8]", "-reduce", "[0]",
+			"-matrix", "[[2 2] [1 8]]", "-timeout", "1s"},
+		"hlo -program": {"hlo", "-system", "a100", "-nodes", "2", "-axes", "[4 8]", "-reduce", "[0]",
+			"-matrix", "[[2 2] [1 8]]", "-program", "(0, InsideGroup, AllReduce)", "-timeout", "1s"},
+	} {
+		if _, errOut, code := exec(args...); code != 1 || !strings.Contains(errOut, "-timeout has no effect") {
+			t.Errorf("%s: exit=%d err=%q", name, code, errOut)
+		}
+	}
+}
+
 func TestDegradeErrors(t *testing.T) {
 	for name, args := range map[string][]string{
 		"no fault":  {"degrade", "-system", "a100", "-nodes", "2", "-axes", "[2 16]", "-reduce", "[0]"},

@@ -5,11 +5,14 @@
 package p2_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"p2"
 )
@@ -119,6 +122,150 @@ func TestPlanParallelMatchesSerial(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestPlanCtxUndeadlinedMatchesSerial is the service-path determinism
+// row: PlanCtx under an uncancelled Background context — the exact call
+// the serve daemon makes for an undeadlined request — must rank
+// byte-identically to the serial reference at every parallelism level,
+// with Partial never set.
+func TestPlanCtxUndeadlinedMatchesSerial(t *testing.T) {
+	for _, tc := range determinismCases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := p2.Request{Axes: tc.axes, ReduceAxes: tc.red, Algos: tc.algos}
+			serial, err := p2.PlanSerial(tc.sys, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := planFingerprint(serial)
+			for _, par := range []int{1, 4, 16} {
+				req.Parallelism = par
+				got, err := p2.PlanCtx(context.Background(), tc.sys, req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Partial {
+					t.Fatalf("parallelism %d: uncancelled PlanCtx returned a partial result", par)
+				}
+				if g := planFingerprint(got); g != want {
+					t.Errorf("parallelism %d: PlanCtx ranking differs from serial (%d vs %d strategies)",
+						par, len(got.Strategies), len(serial.Strategies))
+				}
+			}
+		})
+	}
+}
+
+// TestPlanJointCtxUndeadlinedMatchesSerial: the joint planner's context
+// path under an uncancelled context must reproduce the serial joint
+// ranking byte for byte at every parallelism level.
+func TestPlanJointCtxUndeadlinedMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		sys  *p2.System
+		axes []int
+	}{
+		{"fig2a", p2.Fig2aSystem(), []int{4, 4}},
+		{"a100-4", p2.A100System(4), []int{4, 16}},
+		{"superpod-2x4", p2.SuperPodSystem(2, 4), []int{8, 8}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			reductions := []p2.Reduction{
+				{ReduceAxes: []int{0}, Bytes: 1 << 30},
+				{ReduceAxes: []int{1}, Bytes: 1 << 26, Count: 48,
+					Algos: p2.ExtendedAlgorithms},
+			}
+			serial, err := p2.PlanJointSerial(tc.sys, tc.axes, reductions)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := jointFingerprint(serial)
+			for _, par := range []int{1, 4, 16} {
+				got, err := p2.PlanJointCtx(context.Background(), tc.sys, tc.axes, reductions,
+					p2.JointOptions{Parallelism: par})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Partial {
+					t.Fatalf("parallelism %d: uncancelled PlanJointCtx returned a partial result", par)
+				}
+				if g := jointFingerprint(got); g != want {
+					t.Errorf("parallelism %d: PlanJointCtx joint ranking differs from serial:\ngot:\n%swant:\n%s",
+						par, g, want)
+				}
+			}
+		})
+	}
+}
+
+// TestPlanCtxCancellationKeepsPlannerMemoSafe is the memo-safety half of
+// the cancellation contract: cancelled requests on a shared Planner
+// return promptly (the context's error, or a well-formed partial
+// ranking), and a subsequent uncancelled request on the same Planner —
+// whose memo the cancelled runs populated arbitrary prefixes of — must
+// return the complete ranking, byte-identical to a fresh engine's.
+func TestPlanCtxCancellationKeepsPlannerMemoSafe(t *testing.T) {
+	sys := p2.SuperPodSystem(4, 8)
+	req := p2.Request{Axes: []int{16, 16}, ReduceAxes: []int{0}, Parallelism: 4}
+	pl := p2.NewPlanner(0)
+
+	// Already-dead context: nothing may be scored, so the context's error
+	// comes back — and promptly, not after planning everything anyway.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	type outcome struct {
+		res *p2.PlanResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := pl.PlanCtx(ctx, sys, req)
+		done <- outcome{res, err}
+	}()
+	select {
+	case o := <-done:
+		if o.err == nil {
+			t.Fatalf("pre-cancelled plan returned a result (partial=%v), want context.Canceled",
+				o.res.Partial)
+		}
+		if !errors.Is(o.err, context.Canceled) {
+			t.Fatalf("pre-cancelled plan error = %v, want context.Canceled", o.err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("pre-cancelled plan did not return promptly")
+	}
+
+	// Mid-plan cancellation: the deadline may land before the first scored
+	// candidate (context error), mid-rank (partial), or after completion —
+	// all are legal; what matters is that the memo survives whichever
+	// prefix of synthesis work the run managed.
+	for _, timeout := range []time.Duration{time.Millisecond, 5 * time.Millisecond} {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		res, err := pl.PlanCtx(ctx, sys, req)
+		cancel()
+		switch {
+		case err != nil && !errors.Is(err, context.DeadlineExceeded):
+			t.Fatalf("timeout %v: error %v, want context.DeadlineExceeded or a result", timeout, err)
+		case err == nil && res.Partial && len(res.Strategies) == 0:
+			t.Fatalf("timeout %v: partial result with no strategies", timeout)
+		}
+	}
+
+	// The shared memo must now serve the full request bit-exactly.
+	serial, err := p2.PlanSerial(sys, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pl.PlanCtx(context.Background(), sys, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Partial {
+		t.Fatal("uncancelled request on the shared Planner returned a partial result")
+	}
+	if planFingerprint(got) != planFingerprint(serial) {
+		t.Error("ranking after cancelled runs differs from the serial reference: cancellation corrupted the shared memo")
 	}
 }
 

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -19,11 +20,17 @@ import (
 // order. Together with RunSuite it completes the accuracy tables: pinned
 // Ring/Tree rows from the paper plus an auto row per system.
 func RunSuiteAuto(s Suite) ([]*Result, error) {
+	return RunSuiteAutoCtx(context.Background(), s)
+}
+
+// RunSuiteAutoCtx is RunSuiteAuto under a context; cancellation aborts
+// the suite with ctx.Err().
+func RunSuiteAutoCtx(ctx context.Context, s Suite) ([]*Result, error) {
 	var out []*Result
 	for _, c := range s.Cases {
 		for _, red := range c.ReduceAxes {
 			cfg := Config{Sys: s.Sys, Axes: c.Axes, ReduceAxes: red, Algos: cost.ExtendedAlgorithms}
-			r, err := Run(cfg)
+			r, err := RunCtx(ctx, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("eval: %s: %w", cfg, err)
 			}

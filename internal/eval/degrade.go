@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -74,6 +75,14 @@ type candKey struct{ mi, pi int }
 // (full rankings, no top-K pruning, analytic mode — the comparison is about
 // the cost model's ranking) and compares the outcomes.
 func RunDegrade(cfg DegradeConfig) (*DegradeResult, error) {
+	return RunDegradeCtx(context.Background(), cfg)
+}
+
+// RunDegradeCtx is RunDegrade under a context. Cancellation aborts the
+// comparison with ctx.Err(): a ranking-shift report over a partial
+// ranking would be meaningless, so there is no anytime mode here — the
+// planner's best-so-far results are discarded.
+func RunDegradeCtx(ctx context.Context, cfg DegradeConfig) (*DegradeResult, error) {
 	if len(cfg.Overrides) == 0 {
 		return nil, fmt.Errorf("eval: degrade run with no link overrides")
 	}
@@ -100,8 +109,13 @@ func RunDegrade(cfg DegradeConfig) (*DegradeResult, error) {
 	}
 	runOn := func(sys *topology.System) ([]*plan.Candidate, error) {
 		model := &cost.Model{Sys: sys, Algo: algo, Bytes: bytes}
-		cands, _, err := plan.New().Run(matrices, cfg.ReduceAxes, model, opts)
-		return cands, err
+		cands, _, err := plan.New().RunCtx(ctx, matrices, cfg.ReduceAxes, model, opts)
+		if err != nil {
+			// Anytime partial rankings are useless for a shift comparison:
+			// treat cancellation like any other failure.
+			return nil, err
+		}
+		return cands, nil
 	}
 	pristine, err := runOn(cfg.Sys)
 	if err != nil {

@@ -10,6 +10,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -272,6 +273,14 @@ func Accuracy(results []*Result, ks []int) map[int]float64 {
 // Run executes the full sweep for a config: enumerate matrices, synthesize
 // per matrix, lower, predict, measure.
 func Run(cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run under a context: cancellation is checked between matrices
+// and between programs, and the first observation aborts the sweep with
+// ctx.Err() (an eval sweep is all-or-nothing — there is no partial-result
+// mode, unlike planning's anytime contract).
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	matrices, err := placement.Enumerate(cfg.Sys.Hierarchy(), cfg.Axes)
 	if err != nil {
 		return nil, err
@@ -285,6 +294,9 @@ func Run(cfg Config) (*Result, error) {
 	sim := &netsim.Simulator{Sys: cfg.Sys, Algo: algo, Bytes: cfg.payload(), Opts: cfg.NetsimOpts}
 	baselineStr := synth.BaselineAllReduce().String()
 	for _, m := range matrices {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, cfg.ReduceAxes, cfg.hierOpts())
 		if err != nil {
 			return nil, err
@@ -298,6 +310,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 		res.SynthesisTime += sres.Elapsed
 		for _, p := range sres.Programs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			lp, err := lower.Lower(p, h)
 			if err != nil {
 				return nil, fmt.Errorf("eval: lowering %v for %v: %w", p, m, err)

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -139,6 +140,12 @@ func BuildTable4(results []*Result) *Table {
 // comparing the searched per-step algorithm assignment against the
 // paper's pinned NCCL_ALGO settings.
 func RunAutoComparison(cfg Config) (ring, tree, auto *Result, err error) {
+	return RunAutoComparisonCtx(context.Background(), cfg)
+}
+
+// RunAutoComparisonCtx is RunAutoComparison under a context; cancellation
+// aborts all three sweeps with ctx.Err().
+func RunAutoComparisonCtx(ctx context.Context, cfg Config) (ring, tree, auto *Result, err error) {
 	fixedRing, fixedTree := cfg, cfg
 	fixedRing.Algos, fixedRing.Algo = nil, cost.Ring
 	fixedTree.Algos, fixedTree.Algo = nil, cost.Tree
@@ -155,7 +162,7 @@ func RunAutoComparison(cfg Config) (ring, tree, auto *Result, err error) {
 		wg.Add(1)
 		go func(i int, c Config) {
 			defer wg.Done()
-			results[i], errs[i] = Run(c)
+			results[i], errs[i] = RunCtx(ctx, c)
 		}(i, c)
 	}
 	wg.Wait()

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"p2/internal/cost"
@@ -62,12 +63,18 @@ func PaperSuites() []Suite {
 // RunSuite executes every (case × reduction axes × algorithm) sweep for a
 // system and returns the per-config results in deterministic order.
 func RunSuite(s Suite, algos []cost.Algorithm) ([]*Result, error) {
+	return RunSuiteCtx(context.Background(), s, algos)
+}
+
+// RunSuiteCtx is RunSuite under a context; the first cancellation
+// observed between (or inside) sweeps aborts the suite with ctx.Err().
+func RunSuiteCtx(ctx context.Context, s Suite, algos []cost.Algorithm) ([]*Result, error) {
 	var out []*Result
 	for _, c := range s.Cases {
 		for _, red := range c.ReduceAxes {
 			for _, algo := range algos {
 				cfg := Config{Sys: s.Sys, Axes: c.Axes, ReduceAxes: red, Algo: algo}
-				r, err := Run(cfg)
+				r, err := RunCtx(ctx, cfg)
 				if err != nil {
 					return nil, fmt.Errorf("eval: %s: %w", cfg, err)
 				}

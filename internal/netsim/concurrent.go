@@ -237,7 +237,17 @@ func (s *Simulator) MeasureConcurrentSpecs(specs []ConcurrentSpec) []float64 {
 		}
 	}
 
-	for unfinished > 0 {
+	for iter := 0; unfinished > 0; iter++ {
+		// Cancellation poll, amortized like runStep's: a cancelled
+		// concurrent measurement marks every unfinished lane +Inf.
+		if iter&63 == 0 && s.cancelled() {
+			for _, lane := range lanes {
+				if !lane.done {
+					lane.finish = math.Inf(1)
+				}
+			}
+			break
+		}
 		// Launch lane steps and group rounds whose time has come.
 		for li, lane := range lanes {
 			if lane.done {

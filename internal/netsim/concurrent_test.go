@@ -77,6 +77,51 @@ func TestConcurrentEmpty(t *testing.T) {
 	}
 }
 
+// TestConcurrentMixedLiveDownLanes: when lanes share a fabric with a down
+// NIC, only the lanes whose traffic crosses it stall to +Inf — a lane
+// confined to live links must still finish in finite time, in either
+// spec order (stalled transfers hold rate zero and never block the event
+// loop or hog a live link's share).
+func TestConcurrentMixedLiveDownLanes(t *testing.T) {
+	// crossNode reduces over an axis spanning 2 nodes, so its ring crosses
+	// the NICs; intraNode reduces over 4 GPUs of a single node and never
+	// leaves the NVSwitch level.
+	crossNode := lowerFor(t, []int{4, 16}, []int{4, 16}, [][]int{{2, 2}, {2, 8}}, []int{0},
+		synth.BaselineAllReduce())
+	intraNode := lowerFor(t, []int{4, 16}, []int{4, 16}, [][]int{{1, 4}, {4, 4}}, []int{0},
+		synth.BaselineAllReduce())
+	down := topology.A100System(4).MustWithOverrides(topology.Down(0, 2))
+	sim := &Simulator{Sys: down, Algo: cost.Ring, Bytes: cost.PayloadBytes(4),
+		Opts: Options{DisableNoise: true}}
+	solo := sim.MeasureConcurrentSpecs([]ConcurrentSpec{{Program: intraNode}})[0]
+	if math.IsInf(solo, 1) || solo <= 0 {
+		t.Fatalf("intra-node lane alone = %v, want finite and positive", solo)
+	}
+	a := sim.MeasureConcurrentSpecs([]ConcurrentSpec{{Program: crossNode}, {Program: intraNode}})
+	b := sim.MeasureConcurrentSpecs([]ConcurrentSpec{{Program: intraNode}, {Program: crossNode}})
+	for _, tc := range []struct {
+		name       string
+		down, live float64
+	}{
+		{"down-first", a[0], a[1]},
+		{"live-first", b[1], b[0]},
+	} {
+		if !math.IsInf(tc.down, 1) {
+			t.Errorf("%s: cross-node lane over a down NIC = %v, want +Inf", tc.name, tc.down)
+		}
+		if math.IsInf(tc.live, 1) || tc.live <= 0 {
+			t.Errorf("%s: intra-node lane = %v, want finite and positive", tc.name, tc.live)
+		}
+		if tc.live < solo {
+			t.Errorf("%s: intra-node lane finished in %v, faster than its solo run %v", tc.name, tc.live, solo)
+		}
+	}
+	// With noise disabled the outcome cannot depend on lane order.
+	if a[0] != b[1] || a[1] != b[0] {
+		t.Errorf("lane order changed the result: %v vs swapped %v", a, b)
+	}
+}
+
 func TestConcurrentDeterministic(t *testing.T) {
 	lp := lowerFor(t, []int{4, 16}, []int{4, 16}, [][]int{{2, 2}, {2, 8}}, []int{0},
 		synth.BaselineAllReduce())

@@ -26,6 +26,7 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -116,6 +117,19 @@ type Simulator struct {
 	// called in completion order with monotonically non-decreasing End
 	// timestamps.
 	Recorder func(Event)
+	// Ctx, when non-nil, makes measurement cooperative: the event loops
+	// poll it every few dozen iterations and a cancelled measurement
+	// returns +Inf (the same "never completes" sentinel a stalled down
+	// link produces) instead of running to completion. Callers that can
+	// be cancelled must check Ctx.Err() and discard the value — a
+	// cancelled measurement is not the transfer time of anything. Nil
+	// (the zero value) measures to completion exactly as before.
+	Ctx context.Context
+}
+
+// cancelled reports whether the simulator's context, if any, is done.
+func (s *Simulator) cancelled() bool {
+	return s.Ctx != nil && s.Ctx.Err() != nil
 }
 
 // Measure returns the emulated end-to-end runtime in seconds.
@@ -151,6 +165,9 @@ func (s *Simulator) MeasureSteps(p *lower.Program, stepAlgos []cost.Algorithm) f
 		fingerprintAlgos(fingerprint(s.Sys.Name, int(algo), p.Key()), stepAlgos))
 	total := 0.0
 	for si, st := range steps {
+		if s.cancelled() {
+			return math.Inf(1)
+		}
 		stepAlgo := algo
 		if stepAlgos != nil {
 			stepAlgo = stepAlgos[si]
@@ -308,7 +325,13 @@ func (s *Simulator) runStep(st lower.Step, algo cost.Algorithm, stepIdx int, bas
 		startRound(gi)
 	}
 
-	for live > 0 {
+	for iter := 0; live > 0; iter++ {
+		// Cancellation poll, amortized over 64 event-loop iterations: a
+		// cancelled measurement returns the +Inf never-completes sentinel
+		// (callers observing Ctx.Err() discard the value).
+		if iter&63 == 0 && s.cancelled() {
+			return math.Inf(1)
+		}
 		// Assign equal-share rates. Stalled transfers hold rate 0 and do
 		// not count toward any link's active share (they move no bytes).
 		for _, tr := range active {

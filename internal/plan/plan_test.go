@@ -1,6 +1,8 @@
 package plan
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -198,6 +200,60 @@ func TestRunErrorDeterministic(t *testing.T) {
 			want = err.Error()
 		} else if err.Error() != want {
 			t.Errorf("parallelism %d: error %q, want %q", par, err, want)
+		}
+	}
+}
+
+// TestFanOutPanicBecomesError: a panic inside one worker item must not
+// unwind the process — fanOut recovers it into a *PanicError carrying
+// the item's enumeration index, the panic value and the worker's stack,
+// and (like any item failure) reports it as the lowest-indexed error at
+// every worker count. Items below the crashing index still run.
+func TestFanOutPanicBecomesError(t *testing.T) {
+	matrices, _, _ := testSetup(t)
+	if len(matrices) < 3 {
+		t.Fatalf("need at least 3 placements, have %d", len(matrices))
+	}
+	for _, par := range []int{1, 4, 16} {
+		var mu sync.Mutex
+		ran := map[int]bool{}
+		_, produced, err := fanOut[int](context.Background(), Options{Parallelism: par},
+			sliceStream(matrices),
+			func(ws *workerState, i int, m *placement.Matrix, emit func(int)) error {
+				mu.Lock()
+				ran[i] = true
+				mu.Unlock()
+				if i == 2 {
+					panic("injected worker crash")
+				}
+				emit(i)
+				return nil
+			},
+			func(a, b int) bool { return a < b },
+			func(x int) float64 { return float64(x) },
+			newThreshold())
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("parallelism %d: err = %v, want *PanicError", par, err)
+		}
+		if pe.Index != 2 || fmt.Sprint(pe.Value) != "injected worker crash" {
+			t.Errorf("parallelism %d: PanicError{Index: %d, Value: %v}, want index 2, injected value",
+				par, pe.Index, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("parallelism %d: PanicError.Stack is empty", par)
+		}
+		if want := "plan: panic while planning placement 2: injected worker crash"; err.Error() != want {
+			t.Errorf("parallelism %d: error %q, want %q (deterministic across worker counts)",
+				par, err, want)
+		}
+		mu.Lock()
+		if !ran[0] || !ran[1] {
+			t.Errorf("parallelism %d: items below the crash did not all run: %v", par, ran)
+		}
+		mu.Unlock()
+		if produced < 3 {
+			t.Errorf("parallelism %d: produced %d items, want at least 3", par, produced)
 		}
 	}
 }

@@ -25,9 +25,12 @@
 package plan
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -391,7 +394,7 @@ func (ms *matrixScorer) stepTime(in dsl.Instruction, st lower.Step) stepChoice {
 // brute-force path.
 func (p *Planner) PlanMatrix(mi int, m *placement.Matrix, reduceAxes []int, model *cost.Model, opts Options) ([]*Candidate, error) {
 	var out []*Candidate
-	err := p.planMatrix(&workerState{}, mi, m, reduceAxes, model, opts, &runCounters{}, newThreshold(),
+	err := p.planMatrix(context.Background(), &workerState{}, mi, m, reduceAxes, model, opts, &runCounters{}, newThreshold(),
 		func(c *Candidate) { out = append(out, c) })
 	if err != nil {
 		return nil, err
@@ -409,7 +412,14 @@ func (p *Planner) PlanMatrix(mi int, m *placement.Matrix, reduceAxes []int, mode
 // bound never exceeds any program's true cost, partial sums never exceed
 // the total (step costs are non-negative), and both cuts require strictly
 // exceeding a value that K scored candidates already meet.
-func (p *Planner) planMatrix(ws *workerState, mi int, m *placement.Matrix, reduceAxes []int, model *cost.Model, opts Options, rc *runCounters, thr *threshold, emit func(*Candidate)) error {
+//
+// Cancellation is cooperative at program granularity: ctx is consulted
+// between programs and the first observed cancellation returns ctx.Err()
+// with the placement partially scored (every candidate already emitted is
+// valid and ranked). ctx is deliberately NOT threaded into synthesize —
+// memo entries complete under sync.Once exactly once, so a cancelled
+// request can never leave a poisoned half-built entry for later requests.
+func (p *Planner) planMatrix(ctx context.Context, ws *workerState, mi int, m *placement.Matrix, reduceAxes []int, model *cost.Model, opts Options, rc *runCounters, thr *threshold, emit func(*Candidate)) error {
 	h, err := hierarchy.Build(hierarchy.KindReductionAxes, m, reduceAxes, hierarchy.Options{Collapse: opts.Collapse})
 	if err != nil {
 		return err
@@ -428,6 +438,10 @@ func (p *Planner) planMatrix(ws *workerState, mi int, m *placement.Matrix, reduc
 	ms := newMatrixScorer(ws, model, opts)
 	scored := 0
 	for pi, prog := range res.Programs {
+		if err := ctx.Err(); err != nil {
+			rc.scored.Add(int64(scored))
+			return err
+		}
 		// Early exit: the remaining steps can only add cost, so a partial
 		// sum strictly above the threshold already loses to K kept
 		// candidates — stop lowering and scoring this program.
@@ -494,6 +508,12 @@ func (p *Planner) Run(matrices []*placement.Matrix, reduceAxes []int, model *cos
 	return p.RunStream(sliceStream(matrices), reduceAxes, model, opts)
 }
 
+// RunCtx is Run under a context: see RunStreamCtx for the cancellation
+// and anytime-result contract.
+func (p *Planner) RunCtx(ctx context.Context, matrices []*placement.Matrix, reduceAxes []int, model *cost.Model, opts Options) ([]*Candidate, Stats, error) {
+	return p.RunStreamCtx(ctx, sliceStream(matrices), reduceAxes, model, opts)
+}
+
 // sliceStream adapts a materialized placement set to the streaming
 // producer interface.
 func sliceStream(matrices []*placement.Matrix) func(func(*placement.Matrix) bool) error {
@@ -518,24 +538,52 @@ func sliceStream(matrices []*placement.Matrix) func(func(*placement.Matrix) bool
 // analytic stage unpruned so that every candidate exists to be measured,
 // and truncates to TopK only after the measured sort.
 func (p *Planner) RunStream(stream func(func(*placement.Matrix) bool) error, reduceAxes []int, model *cost.Model, opts Options) ([]*Candidate, Stats, error) {
+	return p.RunStreamCtx(context.Background(), stream, reduceAxes, model, opts)
+}
+
+// RunStreamCtx is RunStream under a context. With an uncancelled context
+// the ranking is byte-identical to RunStream (the checks observe nil and
+// change nothing). On cancellation or deadline expiry the run stops
+// cooperatively — between programs, between measured candidates, and
+// every few emulator event-loop iterations — and returns an *anytime*
+// result alongside ctx.Err(): the merged per-worker top-K heaps, sorted
+// by Less and truncated to TopK. Every returned candidate is fully
+// scored and correctly ordered among those returned; the set is the best
+// of what was scored before the cut, not necessarily a prefix of the
+// full ranking. If cancellation lands during the re-rank measurement
+// stage, partially-filled Measured values are zeroed and the analytic
+// order is returned, so a partial result never mixes measured and
+// unmeasured sort keys. Non-context errors return (nil, stats, err)
+// exactly as before.
+func (p *Planner) RunStreamCtx(ctx context.Context, stream func(func(*placement.Matrix) bool) error, reduceAxes []int, model *cost.Model, opts Options) ([]*Candidate, Stats, error) {
 	runOpts := opts
 	if opts.Rerank == RerankAll {
 		runOpts.TopK = 0
 	}
 	var rc runCounters
 	thr := newThreshold()
-	perWorker, produced, err := fanOut(runOpts, stream, func(ws *workerState, mi int, m *placement.Matrix, emit func(*Candidate)) error {
-		return p.planMatrix(ws, mi, m, reduceAxes, model, runOpts, &rc, thr, emit)
+	perWorker, produced, err := fanOut(ctx, runOpts, stream, func(ws *workerState, mi int, m *placement.Matrix, emit func(*Candidate)) error {
+		return p.planMatrix(ctx, ws, mi, m, reduceAxes, model, runOpts, &rc, thr, emit)
 	}, Less, func(c *Candidate) float64 { return c.Predicted }, thr)
 	stats := rc.stats(produced, thr)
 	if err != nil {
 		return nil, stats, err
 	}
+	if cerr := ctx.Err(); cerr != nil {
+		// Anytime result: the workers' heaps hold the best of everything
+		// scored before the cut; truncate to the user-facing K (runOpts.TopK
+		// is zeroed under RerankAll, which no longer applies — a cancelled
+		// run never reaches the measurement stage).
+		return mergeRanked(perWorker, opts.TopK, Less), stats, cerr
+	}
 	cands := mergeRanked(perWorker, runOpts.TopK, Less)
 	if opts.Rerank != RerankOff {
-		rerank(cands, model, opts, &stats)
+		rerr := rerank(ctx, cands, model, opts, &stats)
 		if opts.TopK > 0 && len(cands) > opts.TopK {
 			cands = cands[:opts.TopK]
+		}
+		if rerr != nil {
+			return cands, stats, rerr
 		}
 	}
 	return cands, stats, nil
@@ -626,7 +674,7 @@ func (e *ErrNoPrograms) Error() string {
 // ≥ the partial, and at equality it still loses the (MatrixIdx, ProgIdx)
 // tie-break to the earlier incumbent, so the argmin is exact. This cut
 // needs no threshold and is always on.
-func (p *Planner) bestForReduction(ws *workerState, mi int, m *placement.Matrix, h *hierarchy.Hierarchy, spec JointSpec, opts Options, rc *runCounters) (*Candidate, error) {
+func (p *Planner) bestForReduction(ctx context.Context, ws *workerState, mi int, m *placement.Matrix, h *hierarchy.Hierarchy, spec JointSpec, opts Options, rc *runCounters) (*Candidate, error) {
 	res, hit := p.synthesize(h, opts.MaxProgramSize)
 	if hit {
 		rc.memoHits.Add(1)
@@ -637,6 +685,10 @@ func (p *Planner) bestForReduction(ws *workerState, mi int, m *placement.Matrix,
 	var best *Candidate
 	scored := 0
 	for pi, prog := range res.Programs {
+		if err := ctx.Err(); err != nil {
+			rc.scored.Add(int64(scored))
+			return nil, err
+		}
 		c, err := ms.scoreProgram(mi, pi, m, h, prog, func(partial float64) bool {
 			return best != nil && partial >= best.Predicted
 		})
@@ -672,6 +724,17 @@ func (p *Planner) bestForReduction(ws *workerState, mi int, m *placement.Matrix,
 // weighted measured time (rerank.go); RerankAll disables the placement
 // top-K during the analytic stage and truncates after the measured sort.
 func (p *Planner) RunJoint(matrices []*placement.Matrix, reds []JointSpec, opts Options) ([]*JointCandidate, Stats, error) {
+	return p.RunJointCtx(context.Background(), matrices, reds, opts)
+}
+
+// RunJointCtx is RunJoint under a context, with the same anytime contract
+// as RunStreamCtx: an uncancelled context is byte-identical to RunJoint;
+// on cancellation the merged per-worker heaps of *completed* placements
+// (a joint candidate only exists once every reduction scored) are
+// returned sorted and truncated alongside ctx.Err(); cancellation during
+// the measured re-rank zeroes the partially-filled Measured fields and
+// returns the analytic placement order.
+func (p *Planner) RunJointCtx(ctx context.Context, matrices []*placement.Matrix, reds []JointSpec, opts Options) ([]*JointCandidate, Stats, error) {
 	mode, finalTopK := opts.Rerank, opts.TopK
 	if mode == RerankAll {
 		opts.TopK = 0 // measured rank-all needs every placement materialized
@@ -679,7 +742,7 @@ func (p *Planner) RunJoint(matrices []*placement.Matrix, reds []JointSpec, opts 
 	var rc runCounters
 	thr := newThreshold()
 	prune := opts.TopK > 0
-	perWorker, produced, err := fanOut(opts, sliceStream(matrices), func(ws *workerState, mi int, m *placement.Matrix, emit func(*JointCandidate)) error {
+	perWorker, produced, err := fanOut(ctx, opts, sliceStream(matrices), func(ws *workerState, mi int, m *placement.Matrix, emit func(*JointCandidate)) error {
 		hs := make([]*hierarchy.Hierarchy, len(reds))
 		bounds := make([]float64, len(reds))
 		for ri, red := range reds {
@@ -705,7 +768,7 @@ func (p *Planner) RunJoint(matrices []*placement.Matrix, reds []JointSpec, opts 
 		}
 		jc := &JointCandidate{MatrixIdx: mi, Matrix: m}
 		for ri, red := range reds {
-			best, err := p.bestForReduction(ws, mi, m, hs[ri], red, red.options(opts), &rc)
+			best, err := p.bestForReduction(ctx, ws, mi, m, hs[ri], red, red.options(opts), &rc)
 			if err != nil {
 				return err
 			}
@@ -737,11 +800,17 @@ func (p *Planner) RunJoint(matrices []*placement.Matrix, reds []JointSpec, opts 
 	if err != nil {
 		return nil, stats, err
 	}
+	if cerr := ctx.Err(); cerr != nil {
+		return mergeRanked(perWorker, finalTopK, jointLess), stats, cerr
+	}
 	jcs := mergeRanked(perWorker, opts.TopK, jointLess)
 	if mode != RerankOff {
-		rerankJoint(jcs, reds, opts, &stats)
+		rerr := rerankJoint(ctx, jcs, reds, opts, &stats)
 		if finalTopK > 0 && len(jcs) > finalTopK {
 			jcs = jcs[:finalTopK]
+		}
+		if rerr != nil {
+			return jcs, stats, rerr
 		}
 	}
 	return jcs, stats, nil
@@ -788,6 +857,32 @@ func (r *errRecorder) get() error {
 	return r.err
 }
 
+// PanicError is a panic recovered inside a planning worker: the crashing
+// placement fails its own request with a diagnosable error — carrying the
+// worker's stack — instead of unwinding through whatever process shares
+// the engine (notably the p2 serve daemon, which maps it to one 500).
+type PanicError struct {
+	// Index is the enumeration index of the placement being planned.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker goroutine's stack captured at recovery.
+	Stack []byte
+}
+
+// Error formats the panic without the stack (callers wanting the stack
+// unwrap the concrete type).
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("plan: panic while planning placement %d: %v", e.Index, e.Value)
+}
+
+// isCtxErr reports whether err is a context cancellation or deadline
+// expiry — the errors that mean "the caller gave up", not "the request
+// is bad" — possibly wrapped.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // fanOut streams placements from the producer through the option-bounded
 // worker pool. Each worker folds emitted items into its top-K bounded
 // heap the moment they are scored and publishes its full heap's worst
@@ -795,7 +890,15 @@ func (r *errRecorder) get() error {
 // just between placements. It returns each worker's kept items
 // (unsorted), the number of placements streamed, and — deterministically
 // — the lowest-indexed error.
-func fanOut[T any](opts Options, stream func(func(*placement.Matrix) bool) error,
+//
+// Cancellation stops the producer and makes workers drain the channel
+// without planning; context errors bubbling out of produce are *not*
+// recorded (they carry no index-determinism obligation — the caller
+// re-derives ctx.Err() itself), so the kept heaps survive as the anytime
+// result. A panic inside produce is recovered per item into a
+// *PanicError and recorded like any other failure, keeping the other
+// workers — and the process — alive.
+func fanOut[T any](ctx context.Context, opts Options, stream func(func(*placement.Matrix) bool) error,
 	produce func(ws *workerState, i int, m *placement.Matrix, emit func(T)) error,
 	less func(a, b T) bool, pred func(T) float64, thr *threshold) ([][]T, int, error) {
 
@@ -810,6 +913,15 @@ func fanOut[T any](opts Options, stream func(func(*placement.Matrix) bool) error
 	}
 	ch := make(chan item, buf)
 	var rec errRecorder
+
+	runItem := func(ws *workerState, i int, m *placement.Matrix, emit func(T)) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		return produce(ws, i, m, emit)
+	}
 
 	var mu sync.Mutex
 	var perWorker [][]T
@@ -827,10 +939,10 @@ func fanOut[T any](opts Options, stream func(func(*placement.Matrix) bool) error
 			}
 		}
 		for it := range ch {
-			if rec.discard(it.idx) {
+			if rec.discard(it.idx) || ctx.Err() != nil {
 				continue
 			}
-			if err := produce(ws, it.idx, it.m, emit); err != nil {
+			if err := runItem(ws, it.idx, it.m, emit); err != nil && !isCtxErr(err) {
 				rec.record(it.idx, err)
 			}
 		}
@@ -851,7 +963,7 @@ func fanOut[T any](opts Options, stream func(func(*placement.Matrix) bool) error
 		defer close(prodDone)
 		defer close(ch)
 		streamErr = stream(func(m *placement.Matrix) bool {
-			if rec.failed.Load() {
+			if rec.failed.Load() || ctx.Err() != nil {
 				return false
 			}
 			if produced < workers {
@@ -869,7 +981,7 @@ func fanOut[T any](opts Options, stream func(func(*placement.Matrix) bool) error
 	if err := rec.get(); err != nil {
 		return nil, produced, err
 	}
-	if streamErr != nil {
+	if streamErr != nil && !isCtxErr(streamErr) {
 		return nil, produced, streamErr
 	}
 	return perWorker, produced, nil

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -94,8 +95,10 @@ func fixedAlgo(model *cost.Model, opts Options) cost.Algorithm {
 // parallelEach runs fn(i) for i in [0, n) over at most `workers`
 // goroutines, pulling indices from a shared atomic counter. Results must
 // land by index (no cross-item state), which is what keeps every
-// measured re-rank independent of the worker count.
-func parallelEach(n, workers int, fn func(i int)) {
+// measured re-rank independent of the worker count. Cancellation skips
+// the remaining indices (each goroutine re-checks ctx before pulling the
+// next one); indices already claimed still run to completion.
+func parallelEach(ctx context.Context, n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
@@ -105,7 +108,7 @@ func parallelEach(n, workers int, fn func(i int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -124,20 +127,31 @@ func parallelEach(n, workers int, fn func(i int)) {
 // Parallelism. Per-step algorithm assignments ride along via MeasureSteps;
 // a uniform assignment is canonicalized inside netsim, so a searched
 // candidate that settled on all-Ring measures byte-identically to a
-// pinned-Ring run.
-func measureCandidates(cands []*Candidate, model *cost.Model, opts Options) {
+// pinned-Ring run. On cancellation some Measured fields are left
+// unfilled or +Inf (the emulator's cancelled sentinel) — the caller must
+// treat the whole batch as unusable and discard it.
+func measureCandidates(ctx context.Context, cands []*Candidate, model *cost.Model, opts Options) error {
 	// One shared read-only Simulator: MeasureSteps never mutates it.
-	sim := netsim.Simulator{Sys: model.Sys, Algo: fixedAlgo(model, opts), Bytes: model.Bytes, Opts: opts.SimOpts}
-	parallelEach(len(cands), opts.workers(), func(i int) {
+	sim := netsim.Simulator{Sys: model.Sys, Algo: fixedAlgo(model, opts), Bytes: model.Bytes, Opts: opts.SimOpts, Ctx: ctx}
+	parallelEach(ctx, len(cands), opts.workers(), func(i int) {
 		cands[i].Measured = sim.MeasureSteps(cands[i].Lowered, cands[i].StepAlgos)
 	})
+	return ctx.Err()
 }
 
 // rerank measures the merged analytic ranking and re-sorts it by measured
 // time (stable, so analytic order breaks measured ties), recording how
 // many candidates were emulated and how far the two rankings disagree.
-func rerank(cands []*Candidate, model *cost.Model, opts Options, stats *Stats) {
-	measureCandidates(cands, model, opts)
+// On cancellation the half-measured values are zeroed, the analytic order
+// is left untouched and ctx.Err() is returned — a partial result never
+// mixes measured and unmeasured sort keys.
+func rerank(ctx context.Context, cands []*Candidate, model *cost.Model, opts Options, stats *Stats) error {
+	if err := measureCandidates(ctx, cands, model, opts); err != nil {
+		for _, c := range cands {
+			c.Measured = 0
+		}
+		return err
+	}
 	stats.MeasuredCandidates += len(cands)
 	measured := make([]float64, len(cands))
 	for i, c := range cands {
@@ -145,27 +159,39 @@ func rerank(cands []*Candidate, model *cost.Model, opts Options, stats *Stats) {
 	}
 	stats.RankInversions += CountInversions(measured)
 	sort.Slice(cands, func(i, j int) bool { return measuredLess(cands[i], cands[j]) })
+	return nil
 }
 
 // rerankJoint measures every kept placement's per-reduction winners and
 // re-sorts the placements by summed weighted measured time (stable, so
 // the analytic (Total, MatrixIdx) order breaks ties). Candidate.Measured
 // carries the raw per-reduction emulated seconds; JointCandidate.Measured
-// the weighted entries, mirroring Costs.
-func rerankJoint(jcs []*JointCandidate, reds []JointSpec, opts Options, stats *Stats) {
-	parallelEach(len(jcs), opts.workers(), func(i int) {
+// the weighted entries, mirroring Costs. Cancellation mirrors rerank:
+// every partially-filled Measured field is reset and the analytic
+// placement order survives.
+func rerankJoint(ctx context.Context, jcs []*JointCandidate, reds []JointSpec, opts Options, stats *Stats) error {
+	parallelEach(ctx, len(jcs), opts.workers(), func(i int) {
 		jc := jcs[i]
 		jc.Measured = make([]float64, len(reds))
 		jc.MeasuredTotal = 0
 		for ri, red := range reds {
 			c := jc.PerReduction[ri]
 			sim := netsim.Simulator{Sys: red.Model.Sys, Algo: fixedAlgo(red.Model, red.options(opts)),
-				Bytes: red.Model.Bytes, Opts: opts.SimOpts}
+				Bytes: red.Model.Bytes, Opts: opts.SimOpts, Ctx: ctx}
 			c.Measured = sim.MeasureSteps(c.Lowered, c.StepAlgos)
 			jc.Measured[ri] = red.weight() * c.Measured
 			jc.MeasuredTotal += jc.Measured[ri]
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		for _, jc := range jcs {
+			jc.Measured, jc.MeasuredTotal = nil, 0
+			for _, c := range jc.PerReduction {
+				c.Measured = 0
+			}
+		}
+		return err
+	}
 	stats.MeasuredCandidates += len(jcs) * len(reds)
 	totals := make([]float64, len(jcs))
 	for i, jc := range jcs {
@@ -179,6 +205,7 @@ func rerankJoint(jcs []*JointCandidate, reds []JointSpec, opts Options, stats *S
 		}
 		return jointLess(jcs[i], jcs[j])
 	})
+	return nil
 }
 
 // CountInversions counts the pairs i < j with vals[i] > vals[j] — the

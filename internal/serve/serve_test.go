@@ -1,0 +1,476 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"p2"
+)
+
+// postPlan sends one /plan request and decodes the response body.
+func postPlan(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/plan", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /plan: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading /plan response: %v", err)
+	}
+	return resp.StatusCode, data
+}
+
+// decodePlan parses a 200 /plan body.
+func decodePlan(t *testing.T, data []byte) *PlanResponse {
+	t.Helper()
+	var pr PlanResponse
+	if err := json.Unmarshal(data, &pr); err != nil {
+		t.Fatalf("decoding /plan response: %v\nbody: %s", err, data)
+	}
+	return &pr
+}
+
+const fig2aBody = `{"system": "fig2a", "axes": [16], "reduce": [0], "topk": 5}`
+
+// TestPlanEndpoint checks that an undeadlined /plan response is exactly
+// the library's ranking: same strategies, same order, same predictions.
+func TestPlanEndpoint(t *testing.T) {
+	ts := httptest.NewServer(NewServer(Config{}).Handler())
+	defer ts.Close()
+
+	code, data := postPlan(t, ts.URL, fig2aBody)
+	if code != http.StatusOK {
+		t.Fatalf("POST /plan = %d, want 200\nbody: %s", code, data)
+	}
+	got := decodePlan(t, data)
+	if got.Partial || got.Cached {
+		t.Fatalf("fresh undeadlined response: partial=%v cached=%v, want false/false", got.Partial, got.Cached)
+	}
+
+	want, err := p2.Plan(p2.Fig2aSystem(), p2.Request{Axes: []int{16}, ReduceAxes: []int{0}, TopK: 5})
+	if err != nil {
+		t.Fatalf("library Plan: %v", err)
+	}
+	if len(got.Strategies) != len(want.Strategies) {
+		t.Fatalf("served %d strategies, library ranked %d", len(got.Strategies), len(want.Strategies))
+	}
+	for i, st := range want.Strategies {
+		g := got.Strategies[i]
+		if g.Matrix != st.Matrix.String() || g.Program != st.Program.String() || g.PredictedSec != st.Predicted {
+			t.Errorf("rank %d: served (%s, %s, %g), library (%s, %s, %g)",
+				i, g.Matrix, g.Program, g.PredictedSec, st.Matrix, st.Program, st.Predicted)
+		}
+	}
+	if got.Stats != want.Stats {
+		t.Errorf("served stats %+v, library stats %+v", got.Stats, want.Stats)
+	}
+}
+
+// TestCacheHit checks that a repeated request is served from the cache,
+// marked as such, and identical to the fresh response.
+func TestCacheHit(t *testing.T) {
+	s := NewServer(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, first := postPlan(t, ts.URL, fig2aBody)
+	fresh := decodePlan(t, first)
+	code, second := postPlan(t, ts.URL, fig2aBody)
+	if code != http.StatusOK {
+		t.Fatalf("repeat POST /plan = %d, want 200", code)
+	}
+	hit := decodePlan(t, second)
+	if !hit.Cached {
+		t.Fatal("repeat request not served from cache")
+	}
+	if fmt.Sprint(hit.Strategies) != fmt.Sprint(fresh.Strategies) {
+		t.Fatalf("cached strategies differ from fresh:\nfresh: %v\ncached: %v", fresh.Strategies, hit.Strategies)
+	}
+	if s.hits.Load() != 1 || s.misses.Load() != 1 {
+		t.Fatalf("cache counters hits=%d misses=%d, want 1/1", s.hits.Load(), s.misses.Load())
+	}
+}
+
+// TestPanicIsolation checks the acceptance scenario: an injected worker
+// panic turns into a 500 on that request alone, and the daemon keeps
+// serving — the next request (same body) succeeds.
+func TestPanicIsolation(t *testing.T) {
+	s := NewServer(Config{})
+	realPlan := s.planFn
+	var inject atomic.Bool
+	s.planFn = func(ctx context.Context, sys *p2.System, req p2.Request) (*p2.PlanResult, error) {
+		if inject.Load() {
+			panic("injected worker crash")
+		}
+		return realPlan(ctx, sys, req)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	inject.Store(true)
+	code, data := postPlan(t, ts.URL, fig2aBody)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("panicking request = %d, want 500\nbody: %s", code, data)
+	}
+	if !strings.Contains(string(data), "injected worker crash") {
+		t.Fatalf("500 body does not name the panic: %s", data)
+	}
+
+	inject.Store(false)
+	code, data = postPlan(t, ts.URL, fig2aBody)
+	if code != http.StatusOK {
+		t.Fatalf("request after panic = %d, want 200 (daemon should keep serving)\nbody: %s", code, data)
+	}
+	if resp := decodePlan(t, data); len(resp.Strategies) == 0 {
+		t.Fatal("request after panic returned no strategies")
+	}
+	if s.panics.Load() != 1 {
+		t.Fatalf("panic counter = %d, want 1", s.panics.Load())
+	}
+}
+
+// TestPartialNotCached checks that a partial (anytime) result is served
+// with Partial set but never enters the cache: the repeat request
+// recomputes.
+func TestPartialNotCached(t *testing.T) {
+	full, err := p2.Plan(p2.Fig2aSystem(), p2.Request{Axes: []int{16}, ReduceAxes: []int{0}, TopK: 5})
+	if err != nil {
+		t.Fatalf("library Plan: %v", err)
+	}
+	s := NewServer(Config{})
+	var calls atomic.Int64
+	s.planFn = func(ctx context.Context, sys *p2.System, req p2.Request) (*p2.PlanResult, error) {
+		calls.Add(1)
+		partial := *full
+		partial.Partial = true
+		return &partial, nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 2; i++ {
+		code, data := postPlan(t, ts.URL, fig2aBody)
+		if code != http.StatusOK {
+			t.Fatalf("request %d = %d, want 200\nbody: %s", i, code, data)
+		}
+		resp := decodePlan(t, data)
+		if !resp.Partial || resp.Cached {
+			t.Fatalf("request %d: partial=%v cached=%v, want true/false", i, resp.Partial, resp.Cached)
+		}
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("planFn ran %d times, want 2 (partial results must not be cached)", calls.Load())
+	}
+	if s.partials.Load() != 2 {
+		t.Fatalf("partial counter = %d, want 2", s.partials.Load())
+	}
+}
+
+// TestDeadlineBeforeFirstCandidate checks the 504 path: a deadline that
+// expires before anything is scored surfaces the context error.
+func TestDeadlineBeforeFirstCandidate(t *testing.T) {
+	s := NewServer(Config{})
+	s.planFn = func(ctx context.Context, sys *p2.System, req p2.Request) (*p2.PlanResult, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"system": "fig2a", "axes": [16], "timeout_ms": 30}`
+	code, data := postPlan(t, ts.URL, body)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("deadlined request = %d, want 504\nbody: %s", code, data)
+	}
+}
+
+// TestLoadShedding checks that requests beyond MaxInFlight are shed with
+// 429 + Retry-After instead of queueing.
+func TestLoadShedding(t *testing.T) {
+	s := NewServer(Config{MaxInFlight: 1})
+	block, entered := make(chan struct{}), make(chan struct{})
+	s.planFn = func(ctx context.Context, sys *p2.System, req p2.Request) (*p2.PlanResult, error) {
+		close(entered)
+		<-block
+		return nil, context.Canceled
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		postPlan(t, ts.URL, fig2aBody)
+	}()
+	<-entered
+
+	// A different request (distinct cache key, so it cannot coalesce)
+	// finds the only slot taken.
+	resp, err := http.Post(ts.URL+"/plan", "application/json",
+		strings.NewReader(`{"system": "fig2a", "axes": [16], "topk": 1}`))
+	if err != nil {
+		t.Fatalf("POST /plan: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("request over capacity = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 response missing Retry-After")
+	}
+	close(block)
+	<-done
+	if s.shed.Load() != 1 {
+		t.Fatalf("shed counter = %d, want 1", s.shed.Load())
+	}
+}
+
+// TestSingleFlight checks that concurrent identical requests coalesce
+// onto one computation and all receive its result.
+func TestSingleFlight(t *testing.T) {
+	s := NewServer(Config{CacheSize: -1}) // no cache: coalescing must do the sharing
+	realPlan := s.planFn
+	var calls atomic.Int64
+	block, entered := make(chan struct{}), make(chan struct{})
+	s.planFn = func(ctx context.Context, sys *p2.System, req p2.Request) (*p2.PlanResult, error) {
+		calls.Add(1)
+		close(entered)
+		<-block
+		return realPlan(ctx, sys, req)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	codes := make(chan int, 2)
+	go func() {
+		code, _ := postPlan(t, ts.URL, fig2aBody)
+		codes <- code
+	}()
+	<-entered // the leader holds the flight; the follower must join it
+	go func() {
+		code, _ := postPlan(t, ts.URL, fig2aBody)
+		codes <- code
+	}()
+	// Give the follower time to reach the flight map before releasing.
+	time.Sleep(50 * time.Millisecond)
+	close(block)
+	for i := 0; i < 2; i++ {
+		if code := <-codes; code != http.StatusOK {
+			t.Fatalf("coalesced request = %d, want 200", code)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("planFn ran %d times for identical concurrent requests, want 1", calls.Load())
+	}
+}
+
+// TestNeverCompletesSanitized checks the wire encoding of +Inf times: a
+// down link makes every cross-node strategy infinite, which JSON cannot
+// carry — the response must use -1 + never_completes instead.
+func TestNeverCompletesSanitized(t *testing.T) {
+	ts := httptest.NewServer(NewServer(Config{}).Handler())
+	defer ts.Close()
+
+	body := `{"system": "a100", "nodes": 2, "faults": "node:1:down", "axes": [32], "topk": 3}`
+	code, data := postPlan(t, ts.URL, body)
+	if code != http.StatusOK {
+		t.Fatalf("POST /plan = %d, want 200\nbody: %s", code, data)
+	}
+	resp := decodePlan(t, data)
+	sanitized := 0
+	for _, st := range resp.Strategies {
+		if st.NeverCompletes {
+			if st.PredictedSec != -1 {
+				t.Fatalf("never_completes strategy has predicted_s %g, want -1", st.PredictedSec)
+			}
+			sanitized++
+		}
+	}
+	if sanitized == 0 {
+		t.Fatal("no never_completes strategies: a 32-device reduction with node 1 down must cross the down link")
+	}
+}
+
+// TestBadRequests table-drives the client-error paths.
+func TestBadRequests(t *testing.T) {
+	ts := httptest.NewServer(NewServer(Config{}).Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"malformed JSON", `{"system": `, http.StatusBadRequest},
+		{"missing system", `{"axes": [16]}`, http.StatusBadRequest},
+		{"unknown system", `{"system": "tpu", "axes": [16]}`, http.StatusBadRequest},
+		{"missing axes", `{"system": "fig2a"}`, http.StatusBadRequest},
+		{"unknown algo", `{"system": "fig2a", "axes": [16], "algo": "warp"}`, http.StatusBadRequest},
+		{"unknown measure", `{"system": "fig2a", "axes": [16], "measure": "always"}`, http.StatusBadRequest},
+		{"bad faults", `{"system": "fig2a", "axes": [16], "faults": "gpu:99"}`, http.StatusBadRequest},
+		{"axes do not cover devices", `{"system": "fig2a", "axes": [3]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, data := postPlan(t, ts.URL, tc.body)
+			if code != tc.want {
+				t.Fatalf("POST /plan = %d, want %d\nbody: %s", code, tc.want, data)
+			}
+			var ae apiError
+			if err := json.Unmarshal(data, &ae); err != nil || ae.Error == "" {
+				t.Fatalf("error response is not {\"error\": ...}: %s", data)
+			}
+		})
+	}
+
+	resp, err := http.Get(ts.URL + "/plan")
+	if err != nil {
+		t.Fatalf("GET /plan: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /plan = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestHealthzAndStatz checks the probes: liveness text and the counter
+// payload after a hit/miss pair.
+func TestHealthzAndStatz(t *testing.T) {
+	ts := httptest.NewServer(NewServer(Config{}).Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("GET /healthz = %d %q, want 200 ok", resp.StatusCode, body)
+	}
+
+	postPlan(t, ts.URL, fig2aBody)
+	postPlan(t, ts.URL, fig2aBody)
+	resp, err = http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatalf("GET /statz: %v", err)
+	}
+	defer resp.Body.Close()
+	var st Statz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding /statz: %v", err)
+	}
+	if st.Requests != 2 || st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Fatalf("statz requests=%d hits=%d misses=%d, want 2/1/1", st.Requests, st.CacheHits, st.CacheMisses)
+	}
+	if st.CacheHitRate != 0.5 {
+		t.Fatalf("statz cache_hit_rate = %g, want 0.5", st.CacheHitRate)
+	}
+	if st.Latency.Count != 2 || st.Latency.P50 < 0 {
+		t.Fatalf("statz latency %+v, want count 2 and non-negative percentiles", st.Latency)
+	}
+}
+
+// TestCacheEviction checks FIFO eviction at CacheSize.
+func TestCacheEviction(t *testing.T) {
+	s := NewServer(Config{CacheSize: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	bodies := []string{
+		`{"system": "fig2a", "axes": [16], "topk": 1}`,
+		`{"system": "fig2a", "axes": [16], "topk": 2}`,
+		`{"system": "fig2a", "axes": [16], "topk": 3}`,
+	}
+	for _, b := range bodies {
+		postPlan(t, ts.URL, b)
+	}
+	s.mu.Lock()
+	entries := len(s.cache)
+	s.mu.Unlock()
+	if entries != 2 {
+		t.Fatalf("cache holds %d entries after 3 distinct requests with CacheSize 2, want 2", entries)
+	}
+	// The oldest request was evicted: repeating it misses.
+	misses := s.misses.Load()
+	code, _ := postPlan(t, ts.URL, bodies[0])
+	if code != http.StatusOK {
+		t.Fatalf("repeat of evicted request = %d, want 200", code)
+	}
+	if s.misses.Load() != misses+1 {
+		t.Fatal("repeat of evicted request did not miss the cache")
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer for the drain log.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestGracefulDrain runs the real listener: requests succeed while
+// serving, cancelling the context drains and ListenAndServe returns nil
+// having logged the drain progression.
+func TestGracefulDrain(t *testing.T) {
+	s := NewServer(Config{DrainTimeout: 2 * time.Second})
+	logw := &syncBuffer{}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.ListenAndServe(ctx, "127.0.0.1:0", logw) }()
+
+	// The listening line carries the resolved address.
+	var addr string
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if out := logw.String(); strings.Contains(out, "listening on ") {
+			line := out[strings.Index(out, "listening on ")+len("listening on "):]
+			addr = strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("no listening line in log: %q", logw.String())
+	}
+
+	code, _ := postPlan(t, "http://"+addr, fig2aBody)
+	if code != http.StatusOK {
+		t.Fatalf("POST /plan on live listener = %d, want 200", code)
+	}
+
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("ListenAndServe after drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ListenAndServe did not return within the drain timeout")
+	}
+	out := logw.String()
+	if !strings.Contains(out, "draining") || !strings.Contains(out, "drained") {
+		t.Fatalf("drain log missing progression lines: %q", out)
+	}
+}

@@ -1,0 +1,43 @@
+package topology
+
+import (
+	"testing"
+)
+
+// FuzzParseFaults checks the fault-spec parser's acceptance invariant:
+// it never panics, and any spec it accepts yields a non-empty override
+// set the target system actually admits — parse success implies
+// WithOverrides succeeds. Rejections must come back as errors (the CLI
+// and the serve daemon map them to diagnostics), including specs whose
+// effects parse but whose composed scales fail validation (bw/NaN,
+// loss=2): the parser validates every override against the system
+// before returning it.
+func FuzzParseFaults(f *testing.F) {
+	f.Add("gpu:2/3/5:bw/10")
+	f.Add("node:0/1:down")
+	f.Add("NVSwitch:7:lat*4")
+	f.Add("spine:*:bw/2,loss=0.01")
+	f.Add("gpu:0/0/0:bw/10,lat*2; node:1/2:down")
+	f.Add("1:5:bw*0.5")
+	f.Add("pod:1:loss=0.25")
+	f.Add("gpu:*:down")
+	f.Add("gpu:0/0/0:bw/0.125,bw*8")
+	f.Add(" ; ;")
+	f.Add("gpu:0/0/0:loss=nan")
+	f.Fuzz(func(t *testing.T, spec string) {
+		sys := SuperPodSystem(3, 4)
+		ovs, err := ParseFaults(sys, spec)
+		if err != nil {
+			if ovs != nil {
+				t.Fatalf("ParseFaults(%q) returned overrides alongside error %v", spec, err)
+			}
+			return
+		}
+		if len(ovs) == 0 {
+			t.Fatalf("ParseFaults(%q) accepted the spec but produced no overrides", spec)
+		}
+		if _, err := sys.WithOverrides(ovs...); err != nil {
+			t.Fatalf("ParseFaults(%q) produced overrides the system rejects: %v", spec, err)
+		}
+	})
+}

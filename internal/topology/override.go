@@ -259,7 +259,11 @@ func parseFaultClause(sys *System, clause string) ([]LinkOverride, error) {
 		o := base
 		o.Level, o.Entity = level, e
 		if err := o.validate(sys); err != nil {
-			return nil, err
+			// Validation speaks in override fields; name the clause that
+			// produced them so the user can find the offending token in a
+			// multi-clause spec.
+			return nil, fmt.Errorf("topology: fault %q: %s",
+				clause, strings.TrimPrefix(err.Error(), "topology: "))
 		}
 		out = append(out, o)
 	}

@@ -132,20 +132,26 @@ func TestParseFaults(t *testing.T) {
 
 func TestParseFaultsErrors(t *testing.T) {
 	sp := SuperPodSystem(3, 4)
+	// wantTok is the offending token the error must name, so a failure in
+	// a long multi-clause spec is findable; empty when there is no token
+	// to report (the empty spec).
 	cases := []struct {
 		spec    string
 		wantSub string
+		wantTok string
 	}{
-		{"", "empty fault spec"},
-		{"gpu:0/0/0", "malformed fault"},
-		{"rack:0:down", "unknown fault level"},
-		{"gpu:0/0:down", "needs 3"}, // too few coords for the gpu level
-		{"gpu:0/0/9:down", "out of range"},
-		{"gpu:999:down", "out of range"},
-		{"gpu:0/0/0:warp*9", "unknown effect"},
-		{"gpu:0/0/0:bw/0", "malformed effect"},
-		{"gpu:0/0/0:loss=1.5", "loss fraction"},
-		{"gpu:0/0/0:bw*-2", "bandwidth scale"},
+		{"", "empty fault spec", ""},
+		{"gpu:0/0/0", "malformed fault", "gpu:0/0/0"},
+		{"rack:0:down", "unknown fault level", `"rack"`},
+		{"gpu:0/0:down", "needs 3", `"0/0"`}, // too few coords for the gpu level
+		{"gpu:0/0/9:down", "out of range", `"0/0/9"`},
+		{"gpu:999:down", "out of range", `"999"`},
+		{"gpu:0/0/0:warp*9", "unknown effect", `"warp*9"`},
+		{"gpu:0/0/0:bw/0", "malformed effect", `"bw/0"`},
+		{"gpu:0/0/0:loss=1.5", "loss fraction", `"gpu:0/0/0:loss=1.5"`},
+		{"gpu:0/0/0:bw*-2", "bandwidth scale", `"gpu:0/0/0:bw*-2"`},
+		// The failing clause must be named even when it is not the first.
+		{"node:0/1:down; spine:*:lat*-3", "latency scale", `"spine:*:lat*-3"`},
 	}
 	for _, tc := range cases {
 		_, err := ParseFaults(sp, tc.spec)
@@ -155,6 +161,10 @@ func TestParseFaultsErrors(t *testing.T) {
 		}
 		if !strings.Contains(err.Error(), tc.wantSub) {
 			t.Errorf("ParseFaults(%q) error = %q, want substring %q", tc.spec, err, tc.wantSub)
+		}
+		if tc.wantTok != "" && !strings.Contains(err.Error(), tc.wantTok) {
+			t.Errorf("ParseFaults(%q) error = %q, does not name the offending token %s",
+				tc.spec, err, tc.wantTok)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package p2
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -90,6 +91,12 @@ type JointPlan struct {
 	// signature-memo hits, candidates scored), the pruning wins with
 	// TopK set, and the emulation effort in measured modes.
 	Stats plan.Stats
+	// Partial marks an anytime result (PlanJointCtx): the context was
+	// cancelled mid-plan and Choices holds the best-so-far placement
+	// ranking — only fully-scored placements (every reduction evaluated)
+	// appear, correctly ordered among themselves. Always false from
+	// PlanJoint and completed requests.
+	Partial bool
 }
 
 // Best returns the placement minimizing total per-step communication
@@ -134,6 +141,22 @@ func PlanJoint(sys *System, axes []int, reductions []Reduction) (*JointPlan, err
 // PlanJointSerial; measured modes (opts.Measure) re-sort it by emulated
 // totals, equally deterministically.
 func PlanJointOpts(sys *System, axes []int, reductions []Reduction, opts JointOptions) (*JointPlan, error) {
+	return PlanJointCtx(context.Background(), sys, axes, reductions, opts)
+}
+
+// PlanJointCtx is PlanJointOpts under a context, with the same anytime
+// semantics as PlanCtx: an uncancelled context is byte-identical to
+// PlanJointOpts; on cancellation the completed placements are returned
+// with JointPlan.Partial set (nil error), or the context's error if none
+// finished. A Planner's shared memo is equally safe here — see
+// Planner.PlanJointCtx.
+func PlanJointCtx(ctx context.Context, sys *System, axes []int, reductions []Reduction, opts JointOptions) (*JointPlan, error) {
+	return (&Planner{eng: plan.New()}).PlanJointCtx(ctx, sys, axes, reductions, opts)
+}
+
+// PlanJointCtx plans one joint request on the Planner's shared synthesis
+// memo; see the package-level PlanJointCtx for the anytime contract.
+func (pl *Planner) PlanJointCtx(ctx context.Context, sys *System, axes []int, reductions []Reduction, opts JointOptions) (*JointPlan, error) {
 	if len(reductions) == 0 {
 		return nil, fmt.Errorf("p2: PlanJoint needs at least one reduction")
 	}
@@ -159,20 +182,25 @@ func PlanJointOpts(sys *System, axes []int, reductions []Reduction, opts JointOp
 			Algos:      red.Algos,
 		}
 	}
-	jcs, stats, err := plan.New().RunJoint(matrices, specs, plan.Options{
+	jcs, stats, err := pl.eng.RunJointCtx(ctx, matrices, specs, plan.Options{
 		Parallelism: opts.Parallelism,
 		TopK:        opts.TopK,
 		Rerank:      opts.Measure,
 		SimOpts:     opts.SimOpts,
 	})
+	partial := false
 	if err != nil {
-		var noProg *plan.ErrNoPrograms
-		if errors.As(err, &noProg) {
-			return nil, fmt.Errorf("p2: no valid strategies for axes %v reduce %v", axes, noProg.ReduceAxes)
+		if isCtxErr(err) && len(jcs) > 0 {
+			partial = true
+		} else {
+			var noProg *plan.ErrNoPrograms
+			if errors.As(err, &noProg) {
+				return nil, fmt.Errorf("p2: no valid strategies for axes %v reduce %v", axes, noProg.ReduceAxes)
+			}
+			return nil, err
 		}
-		return nil, err
 	}
-	jp := &JointPlan{System: sys, Axes: axes, Stats: stats}
+	jp := &JointPlan{System: sys, Axes: axes, Stats: stats, Partial: partial}
 	for _, jc := range jcs {
 		choice := &JointChoice{
 			Matrix:        jc.Matrix,

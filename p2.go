@@ -29,9 +29,13 @@
 package p2
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 
 	"p2/internal/cost"
 	"p2/internal/dsl"
@@ -145,6 +149,57 @@ func Fig2aSystem() *System { return topology.Fig2aSystem() }
 // with NVSwitch, InfiniBand rails and an oversubscribed spine.
 func SuperPodSystem(pods, nodesPerPod int) *System {
 	return topology.SuperPodSystem(pods, nodesPerPod)
+}
+
+// ParseSystem resolves a preset name to a system, sharing one vocabulary
+// between the CLI's -system flag and the serve API's "system" field:
+// "a100" or "v100" scaled to nodes (nodes <= 0 defaults to 4, the CLI
+// default), "fig2a" (fixed shape), or "superpod[:PxN]" (P pods × N nodes
+// per pod, default 2x4). Names are case-insensitive.
+func ParseSystem(name string, nodes int) (*System, error) {
+	if nodes <= 0 {
+		nodes = 4
+	}
+	lname := strings.ToLower(name)
+	if shape, ok := strings.CutPrefix(lname, "superpod"); ok {
+		pods, nodesPerPod := 2, 4
+		if shape != "" {
+			var err error
+			if pods, nodesPerPod, err = parseSuperPodShape(shape); err != nil {
+				return nil, err
+			}
+		}
+		return topology.SuperPodSystem(pods, nodesPerPod), nil
+	}
+	switch lname {
+	case "a100":
+		return topology.A100System(nodes), nil
+	case "v100":
+		return topology.V100System(nodes), nil
+	case "fig2a":
+		return topology.Fig2aSystem(), nil
+	default:
+		return nil, fmt.Errorf("unknown system %q (want a100, v100, fig2a or superpod[:PxN])", name)
+	}
+}
+
+// parseSuperPodShape parses the ":PxN" suffix of superpod:PxN.
+func parseSuperPodShape(shape string) (pods, nodesPerPod int, err error) {
+	rest, ok := strings.CutPrefix(shape, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("malformed superpod shape %q (want superpod:PxN, e.g. superpod:4x8)", shape)
+	}
+	p, n, ok := strings.Cut(rest, "x")
+	if !ok {
+		return 0, 0, fmt.Errorf("malformed superpod shape %q (want superpod:PxN, e.g. superpod:4x8)", shape)
+	}
+	if pods, err = strconv.Atoi(p); err == nil {
+		nodesPerPod, err = strconv.Atoi(n)
+	}
+	if err != nil || pods <= 0 || nodesPerPod <= 0 {
+		return 0, 0, fmt.Errorf("malformed superpod shape %q (want superpod:PxN, e.g. superpod:4x8)", shape)
+	}
+	return pods, nodesPerPod, nil
 }
 
 // Placements enumerates every parallelism matrix mapping the given axes
@@ -304,6 +359,14 @@ type PlanResult struct {
 	// emulation effort (candidates measured, analytic-vs-measured rank
 	// inversions).
 	Stats plan.Stats
+	// Partial marks an anytime result: the request's context was cancelled
+	// or its deadline expired mid-plan (PlanCtx), and Strategies holds the
+	// best-so-far ranking — every entry fully scored and correctly ordered
+	// among those present, but not necessarily a prefix of the complete
+	// ranking. If cancellation landed during a measured re-rank, Measured
+	// fields are zeroed and the order is the analytic one. Always false
+	// from Plan and from requests that ran to completion.
+	Partial bool
 }
 
 // Best returns the first-ranked strategy: fastest predicted, or fastest
@@ -377,6 +440,51 @@ func (req Request) withDefaults(sys *System) Request {
 // byte-identical at every parallelism level — because the emulator and
 // the tie order are pure functions of the request.
 func Plan(sys *System, req Request) (*PlanResult, error) {
+	return PlanCtx(context.Background(), sys, req)
+}
+
+// PlanCtx is Plan under a context, with anytime semantics: an uncancelled
+// context plans byte-identically to Plan; on cancellation or deadline
+// expiry the engine stops cooperatively and, if any candidates were
+// already scored, returns the best-so-far ranking with Partial set and a
+// nil error. Cancellation before the first scored candidate returns the
+// context's error. See PlanResult.Partial for exactly what a partial
+// ranking guarantees.
+func PlanCtx(ctx context.Context, sys *System, req Request) (*PlanResult, error) {
+	return (&Planner{eng: plan.New()}).PlanCtx(ctx, sys, req)
+}
+
+// Planner plans requests against a synthesis memo that persists across
+// calls: placements inducing the same reduction hierarchy — within one
+// request or across many — share one synthesis run. Plan/PlanCtx at
+// package level construct a fresh Planner per call (memo spans exactly
+// one request); a long-lived daemon keeps one Planner so repeat traffic
+// hits a warm memo. A Planner is safe for concurrent use, and a
+// cancelled request can never corrupt the shared memo: memo entries
+// complete exactly once regardless of which request triggered them
+// (cancellation cuts between programs and placements, never inside a
+// synthesis).
+type Planner struct {
+	eng *plan.Planner
+}
+
+// NewPlanner returns an empty Planner. memoCap bounds the shared
+// synthesis memo to that many entries (once full, unseen hierarchy
+// signatures synthesize without being recorded — correct, just not
+// shared); memoCap <= 0 means unbounded.
+func NewPlanner(memoCap int) *Planner {
+	return &Planner{eng: plan.New(plan.WithMemoCap(memoCap))}
+}
+
+// isCtxErr reports whether err is context cancellation or deadline
+// expiry, possibly wrapped.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// PlanCtx plans one request on the Planner's shared memo; see the
+// package-level PlanCtx for the anytime contract.
+func (pl *Planner) PlanCtx(ctx context.Context, sys *System, req Request) (*PlanResult, error) {
 	req = req.withDefaults(sys)
 	stream := func(yield func(*placement.Matrix) bool) error {
 		if req.Matrix != nil {
@@ -386,7 +494,7 @@ func Plan(sys *System, req Request) (*PlanResult, error) {
 		return placement.Iterate(sys.Hierarchy(), req.Axes, yield)
 	}
 	model := &cost.Model{Sys: sys, Algo: req.Algo, Bytes: req.Bytes}
-	cands, stats, err := plan.New().RunStream(stream, req.ReduceAxes, model, plan.Options{
+	cands, stats, err := pl.eng.RunStreamCtx(ctx, stream, req.ReduceAxes, model, plan.Options{
 		Parallelism:    req.Parallelism,
 		TopK:           req.TopK,
 		MaxProgramSize: req.MaxProgramSize,
@@ -395,13 +503,17 @@ func Plan(sys *System, req Request) (*PlanResult, error) {
 		Rerank:         req.Measure,
 		SimOpts:        req.SimOpts,
 	})
+	partial := false
 	if err != nil {
-		return nil, err
+		if !isCtxErr(err) || len(cands) == 0 {
+			return nil, err
+		}
+		partial = true
 	}
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("p2: no valid strategies for axes %v reduce %v", req.Axes, req.ReduceAxes)
 	}
-	res := &PlanResult{Request: req, System: sys, Stats: stats}
+	res := &PlanResult{Request: req, System: sys, Stats: stats, Partial: partial}
 	res.Strategies = make([]*Strategy, len(cands))
 	for i, c := range cands {
 		res.Strategies[i] = strategyFromCandidate(c, sys, req.Algo, req.Bytes)

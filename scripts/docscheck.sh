@@ -17,12 +17,13 @@ cd "$(dirname "$0")/.."
 fail=0
 
 # --- 1. README flags exist in cmd/p2 ---------------------------------------
-# Flags defined anywhere in cmd/p2: flag.FlagSet String/Int/Bool/Float64
-# declarations name the flag in the first argument, Var declarations (used
-# for repeatable flags like -fault) in the second.
+# Flags defined anywhere in cmd/p2: flag.FlagSet
+# String/Int/Bool/Float64/Duration declarations name the flag in the
+# first argument, Var declarations (used for repeatable flags like
+# -fault) in the second.
 defined=$(
   {
-    grep -hoE 'fs\.(String|Int|Bool|Float64)\("[a-z-]+"' cmd/p2/*.go
+    grep -hoE 'fs\.(String|Int|Bool|Float64|Duration)\("[a-z-]+"' cmd/p2/*.go
     grep -hoE 'fs\.Var\([^,]+, "[a-z-]+"' cmd/p2/*.go
   } | sed -E 's/.*"([a-z-]+)"/\1/' | sort -u
 )
