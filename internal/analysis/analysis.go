@@ -45,6 +45,11 @@ type Analyzer struct {
 	// fixtures under internal/analysis/testdata are always accepted so the
 	// analysistest harness exercises the real driver path.
 	AppliesTo func(pkgPath string) bool
+	// Collect, when non-nil, runs once per module before any Run,
+	// publishing per-object facts (Module.ExportObjectFact) that this
+	// analyzer's Run — or another analyzer's — consumes. The cross-function
+	// analyzers use it to see callees and fields outside the current pass.
+	Collect func(m *Module)
 	// Run reports the package's violations through pass.Report.
 	Run func(pass *Pass) error
 }
@@ -58,6 +63,9 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Annot holds the package's parsed //p2: markers.
 	Annot *Annotations
+	// Module is the whole-run view (facts, call graph, field index) for
+	// the cross-function analyzers; single-package analyzers ignore it.
+	Module *Module
 
 	diags *[]Diagnostic
 }
@@ -137,6 +145,17 @@ const (
 	// MarkerNanOk blesses a NaN-unsafe float comparison (nanfloat) whose
 	// operands are validated finite upstream. Requires a justification.
 	MarkerNanOk Marker = "nan-ok"
+	// MarkerCtxOk blesses a context.Background()/TODO() root or an
+	// unthreaded blocking channel operation (ctxflow, leakcheck) — the
+	// boundary shims where a fresh context is the documented contract, or
+	// a send proven to unblock without cancellation. Requires a
+	// justification.
+	MarkerCtxOk Marker = "ctx-ok"
+	// MarkerLockOk blesses a locking shape locksafe or atomichygiene would
+	// reject — a WaitGroup.Add inside a goroutine ordered before Wait by a
+	// happens-before edge, or a plain access to an atomic field proven
+	// single-threaded at that point. Requires a justification.
+	MarkerLockOk Marker = "lock-ok"
 )
 
 // markerNeedsWhy reports whether the marker requires a justification text.
@@ -149,6 +168,8 @@ var knownMarkers = map[Marker]bool{
 	MarkerZeroalloc:        true,
 	MarkerAllocOk:          true,
 	MarkerNanOk:            true,
+	MarkerCtxOk:            true,
+	MarkerLockOk:           true,
 }
 
 // annotation is one parsed //p2: comment.
@@ -197,7 +218,7 @@ func (a *Annotations) scanComment(c *ast.Comment) {
 			Analyzer: "annot",
 			Pos:      pos,
 			Message:  fmt.Sprintf("unknown annotation marker //p2:%s", name),
-			Fix:      "use one of: order-independent, timing-ok, zeroalloc, alloc-ok, nan-ok (see DESIGN.md §10)",
+			Fix:      "use one of: order-independent, timing-ok, zeroalloc, alloc-ok, nan-ok, ctx-ok, lock-ok (see DESIGN.md §10)",
 		})
 		return
 	}
@@ -264,8 +285,8 @@ func FuncMarked(fn *ast.FuncDecl, m Marker) bool {
 // annotation can never silently disable a real analyzer.
 var Annot = &Analyzer{
 	Name: "annot",
-	Doc: "reject unknown //p2: markers and escape hatches without a justification; " +
-		"the valid set is order-independent, timing-ok, zeroalloc, alloc-ok, nan-ok (DESIGN.md §10)",
+	Doc: "reject unknown //p2: markers and escape hatches without a justification; the valid set is " +
+		"order-independent, timing-ok, zeroalloc, alloc-ok, nan-ok, ctx-ok, lock-ok (DESIGN.md §10)",
 	Run: func(pass *Pass) error {
 		*pass.diags = append(*pass.diags, pass.Annot.problems...)
 		return nil
@@ -299,10 +320,23 @@ func inEngine(pkgPath string) bool {
 		isFixturePath(pkgPath)
 }
 
+// inCancellable gates an analyzer to the packages bound by the PR 8
+// cancellation contract (DESIGN.md §11): the engine packages plus the
+// root p2 package whose PlanCtx/PlanJointCtx entry points anchor it.
+// cmd/ and examples/ own their process lifetime and may block freely.
+func inCancellable(pkgPath string) bool {
+	return pkgPath == "p2" || inEngine(pkgPath)
+}
+
 // isFixturePath reports whether pkgPath is an analysistest fixture.
 func isFixturePath(pkgPath string) bool {
 	return strings.Contains(pkgPath, "analysis/testdata/")
 }
 
-// All is the full analyzer suite in the order p2lint runs it.
-var All = []*Analyzer{Annot, DetMapRange, NaNFloat, ZeroAlloc, WallClock, FanOut}
+// All is the full analyzer suite in the order p2lint runs it: the PR 7
+// single-function analyzers first, then the cross-function concurrency
+// and cancellation set built on the facts engine (facts.go).
+var All = []*Analyzer{
+	Annot, DetMapRange, NaNFloat, ZeroAlloc, WallClock, FanOut,
+	CtxFlow, AtomicHygiene, LockSafe, ErrFlow, LeakCheck, Exhaustive,
+}

@@ -19,6 +19,17 @@ func TestZeroAllocFixture(t *testing.T)   { RunFixture(t, "zeroalloc", ZeroAlloc
 func TestWallClockFixture(t *testing.T)   { RunFixture(t, "wallclock", WallClock) }
 func TestFanOutFixture(t *testing.T)      { RunFixture(t, "fanout", FanOut) }
 
+// The cross-function analyzers (facts.go): the ctxflow and atomichygiene
+// fixtures put caller and callee (resp. atomic and plain access) in
+// different files, so a pass exercises the call graph and field index
+// across file boundaries, not just within one inspection.
+func TestCtxFlowFixture(t *testing.T)       { RunFixture(t, "ctxflow", CtxFlow) }
+func TestAtomicHygieneFixture(t *testing.T) { RunFixture(t, "atomichygiene", AtomicHygiene) }
+func TestLockSafeFixture(t *testing.T)      { RunFixture(t, "locksafe", LockSafe) }
+func TestErrFlowFixture(t *testing.T)       { RunFixture(t, "errflow", ErrFlow) }
+func TestLeakCheckFixture(t *testing.T)     { RunFixture(t, "leakcheck", LeakCheck) }
+func TestExhaustiveFixture(t *testing.T)    { RunFixture(t, "exhaustive", Exhaustive) }
+
 // TestLintTree is the self-test p2lint's CI step relies on: the full suite
 // over the whole module must be clean. A failure here reproduces exactly
 // what `go run ./cmd/p2lint ./...` would print.
@@ -35,33 +46,53 @@ func TestLintTree(t *testing.T) {
 	}
 }
 
+// BenchmarkLintTree tracks the wall time of a full-suite run over the
+// whole module — the p2lint CI step's cost. The loader dominates (go list
+// plus typechecking everything); a regression here slows every CI run,
+// so the number is tracked alongside the engine benchmarks.
+func BenchmarkLintTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		diags, err := Run("../..", []string{"./..."}, All)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(diags) != 0 {
+			b.Fatalf("lint tree not clean: %d diagnostics", len(diags))
+		}
+	}
+}
+
 // TestPackageGating pins which packages each gate accepts: detmaprange and
 // fanout run only on the determinism-critical engine set, nanfloat and
 // wallclock on all engine internals, and fixtures are always in scope so
 // the harness exercises the gated path.
 func TestPackageGating(t *testing.T) {
 	cases := []struct {
-		path               string
-		critical, inEngine bool
+		path                            string
+		critical, inEngine, cancellable bool
 	}{
-		{"p2/internal/plan", true, true},
-		{"p2/internal/synth", true, true},
-		{"p2/internal/lower", true, true},
-		{"p2/internal/cost", true, true},
-		{"p2/internal/placement", true, true},
-		{"p2/internal/netsim", true, true},
-		{"p2/internal/eval", true, true},
-		{"p2/internal/topology", false, true},
-		{"p2/internal/verify", false, true},
-		{"p2/internal/plot", false, true},
-		// The CLI surface and examples are free to print, time, randomize.
-		{"p2/cmd/p2", false, false},
-		{"p2/examples/degraded", false, false},
-		{"p2", false, false},
+		{"p2/internal/plan", true, true, true},
+		{"p2/internal/synth", true, true, true},
+		{"p2/internal/lower", true, true, true},
+		{"p2/internal/cost", true, true, true},
+		{"p2/internal/placement", true, true, true},
+		{"p2/internal/netsim", true, true, true},
+		{"p2/internal/eval", true, true, true},
+		{"p2/internal/topology", false, true, true},
+		{"p2/internal/verify", false, true, true},
+		{"p2/internal/plot", false, true, true},
+		// The root package anchors the cancellation contract (PlanCtx)
+		// even though it is not an engine internal.
+		{"p2", false, false, true},
+		// The CLI surface and examples are free to print, time, randomize,
+		// and block — they own their process lifetime.
+		{"p2/cmd/p2", false, false, false},
+		{"p2/examples/degraded", false, false, false},
 		// The analyzer suite itself is exempt (it is not the engine)...
-		{"p2/internal/analysis", false, false},
+		{"p2/internal/analysis", false, false, false},
 		// ...but its fixtures are always in scope.
-		{"p2/internal/analysis/testdata/src/detmaprange", true, true},
+		{"p2/internal/analysis/testdata/src/detmaprange", true, true, true},
+		{"p2/internal/analysis/testdata/src/ctxflow", true, true, true},
 	}
 	for _, tc := range cases {
 		if got := inCritical(tc.path); got != tc.critical {
@@ -69,6 +100,9 @@ func TestPackageGating(t *testing.T) {
 		}
 		if got := inEngine(tc.path); got != tc.inEngine {
 			t.Errorf("inEngine(%q) = %v, want %v", tc.path, got, tc.inEngine)
+		}
+		if got := inCancellable(tc.path); got != tc.cancellable {
+			t.Errorf("inCancellable(%q) = %v, want %v", tc.path, got, tc.cancellable)
 		}
 	}
 }
@@ -89,7 +123,10 @@ func TestAnalyzerRegistry(t *testing.T) {
 			t.Errorf("analyzer %s has no Run", a.Name)
 		}
 	}
-	for _, want := range []string{"annot", "detmaprange", "nanfloat", "zeroalloc", "wallclock", "fanout"} {
+	for _, want := range []string{
+		"annot", "detmaprange", "nanfloat", "zeroalloc", "wallclock", "fanout",
+		"ctxflow", "atomichygiene", "locksafe", "errflow", "leakcheck", "exhaustive",
+	} {
 		if !seen[want] {
 			t.Errorf("analyzer %s not registered in All", want)
 		}
@@ -104,8 +141,8 @@ func TestMarkerRules(t *testing.T) {
 			t.Errorf("markerNeedsWhy(%s) = %v, want %v", m, markerNeedsWhy(m), want)
 		}
 	}
-	if len(knownMarkers) != 5 {
-		t.Errorf("known marker set has %d entries, want 5 — update DESIGN.md §10 and docscheck.sh for new markers", len(knownMarkers))
+	if len(knownMarkers) != 7 {
+		t.Errorf("known marker set has %d entries, want 7 — update DESIGN.md §10 and docscheck.sh for new markers", len(knownMarkers))
 	}
 }
 

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// callgraph.go derives the intra-module static call graph from the
+// already-typechecked ASTs: one node per declared function or method with
+// a body, one CallSite per statically-resolved call expression inside it.
+// Calls inside function literals are attributed to the enclosing declared
+// function — for the analyzers built on top (ctxflow), a closure is part
+// of its parent's control flow. Dynamic calls (function values, interface
+// method dispatch through a nil-resolving selector) have no callee object
+// and are simply absent; the analyzers this graph serves are
+// convention-checkers, not soundness proofs, and false negatives on
+// function values are acceptable where false positives are not.
+
+// CallSite is one static call: caller and callee are the declared
+// *types.Func objects, Pos the call expression's position.
+type CallSite struct {
+	Caller *types.Func
+	Callee *types.Func
+	Pos    token.Pos
+}
+
+// CalleesFact is published on every module function with a body: the
+// call sites it contains, in source order. Analyzers consume it through
+// Module.ImportObjectFact or the CallsFrom convenience.
+type CalleesFact struct {
+	Sites []CallSite
+}
+
+// AFact marks CalleesFact as a fact.
+func (*CalleesFact) AFact() {}
+
+// CallGraph indexes the module's static calls in both directions.
+type CallGraph struct {
+	m *Module
+	// funcs is every module-declared function with a body, in load order —
+	// the deterministic iteration surface for whole-module passes.
+	funcs []*types.Func
+	// callers maps a callee to every site calling it.
+	callers map[*types.Func][]CallSite
+}
+
+// buildCallGraph walks every declared function body once, resolving each
+// call expression to its static callee and publishing a CalleesFact.
+func buildCallGraph(m *Module) *CallGraph {
+	g := &CallGraph{m: m, callers: map[*types.Func][]CallSite{}}
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				caller, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.funcs = append(g.funcs, caller)
+				var sites []CallSite
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := StaticCallee(pkg.TypesInfo, call)
+					if callee == nil {
+						return true
+					}
+					sites = append(sites, CallSite{Caller: caller, Callee: callee, Pos: call.Pos()})
+					return true
+				})
+				m.ExportObjectFact(caller, &CalleesFact{Sites: sites})
+				for _, s := range sites {
+					g.callers[s.Callee] = append(g.callers[s.Callee], s)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// StaticCallee resolves a call expression to the *types.Func it invokes,
+// or nil for dynamic calls (function values, builtins, conversions).
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// Functions returns every module-declared function with a body, in the
+// deterministic load order.
+func (g *CallGraph) Functions() []*types.Func { return g.funcs }
+
+// CallsFrom returns fn's static call sites (the CalleesFact), or nil for
+// functions outside the module.
+func (g *CallGraph) CallsFrom(fn *types.Func) []CallSite {
+	var f CalleesFact
+	if g.m.ImportObjectFact(fn, &f) {
+		return f.Sites
+	}
+	return nil
+}
+
+// CallersOf returns every module call site whose static callee is fn.
+func (g *CallGraph) CallersOf(fn *types.Func) []CallSite { return g.callers[fn] }

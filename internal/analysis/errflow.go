@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrFlow enforces the wrapped-error discipline Go 1.13 made standard and
+// PR 8's sentinel taxonomy (plan.ErrCancelled, the *PanicError unwrap
+// chain) depends on:
+//
+//   - `err == sentinel` / `err != sentinel` identity comparisons miss
+//     every wrapped error; errors.Is walks the chain. Comparisons against
+//     nil stay untouched — they are the idiom.
+//   - fmt.Errorf with an error argument but no %w verb flattens the chain
+//     to a string: downstream errors.Is/As stop seeing the sentinel.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc: "flag ==/!= comparisons against non-nil errors (use errors.Is/As) and fmt.Errorf calls " +
+		"that stringify an error without %w",
+	Run: runErrFlow,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// implementsError reports whether t (or *t) satisfies the error interface.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	iface := errorType.Underlying().(*types.Interface)
+	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+}
+
+func runErrFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkErrCompare(pass, n)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrCompare flags ==/!= where either operand has the error
+// interface type and neither is nil.
+func checkErrCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if isUntypedNil(pass, be.X) || isUntypedNil(pass, be.Y) {
+		return
+	}
+	xt, yt := pass.TypesInfo.Types[be.X].Type, pass.TypesInfo.Types[be.Y].Type
+	if xt == nil || yt == nil {
+		return
+	}
+	// At least one side must be the error interface itself: comparing two
+	// concrete typed values (e.g. syscall.Errno) is exact by construction.
+	if !types.Identical(xt, errorType) && !types.Identical(yt, errorType) {
+		return
+	}
+	helper := "errors.Is"
+	if be.Op == token.NEQ {
+		helper = "!errors.Is"
+	}
+	pass.Reportf(be.Pos(),
+		"use "+helper+"(err, target) so wrapped errors match too",
+		"error compared with %s: identity comparison misses wrapped errors", be.Op)
+}
+
+// checkErrorfWrap flags fmt.Errorf calls passing an error value without a
+// %w verb in the format string.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" || selectorPkgPath(pass, sel) != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	if strings.Contains(constant.StringVal(tv.Value), "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		at := pass.TypesInfo.Types[arg].Type
+		if at == nil || !implementsError(at) {
+			continue
+		}
+		pass.Reportf(call.Pos(),
+			"wrap with %w so the cause stays inspectable by errors.Is/As",
+			"fmt.Errorf stringifies an error argument without %%w: the error chain is cut here")
+		return
+	}
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// fieldindex.go builds the module-wide field-access index behind the
+// atomichygiene analyzer: for every struct field declared in the module,
+// every place any module package touches it, classified as atomic (the
+// field's address passed to a sync/atomic function) or plain, and as read
+// or write. The index is keyed by the field's *types.Var — object identity
+// holds module-wide because the Loader shares one typechecked package
+// cache — so "written with atomic.AddInt64 in serve.go, read plainly in
+// stats.go" is a single map lookup.
+//
+// Fields whose type is itself a typed atomic (sync/atomic.Int64 and
+// friends) are excluded: the type system already makes every access
+// atomic, which is exactly why the engine prefers them.
+
+// FieldAccess is one source-level touch of a struct field.
+type FieldAccess struct {
+	Pos token.Pos
+	// PkgPath is the accessing (not declaring) package.
+	PkgPath string
+	// Atomic marks an access through a sync/atomic call (&x.f as the
+	// address argument).
+	Atomic bool
+	// Write marks assignments, ++/--, and address-taking (a taken address
+	// may be written through; the index stays conservative).
+	Write bool
+}
+
+// AccessesFact is published on every module-declared struct field that is
+// accessed anywhere in the module: all its accesses, in load order.
+type AccessesFact struct {
+	Accesses []FieldAccess
+}
+
+// AFact marks AccessesFact as a fact.
+func (*AccessesFact) AFact() {}
+
+// FieldIndex is the module-wide field-access table.
+type FieldIndex struct {
+	m *Module
+	// fields is every indexed field in first-seen order — the
+	// deterministic iteration surface.
+	fields []*types.Var
+	seen   map[*types.Var]*AccessesFact
+}
+
+// Accesses returns every recorded access of field, or nil.
+func (ix *FieldIndex) Accesses(field *types.Var) []FieldAccess {
+	if f := ix.seen[field]; f != nil {
+		return f.Accesses
+	}
+	return nil
+}
+
+// Fields returns every indexed field in deterministic first-seen order.
+func (ix *FieldIndex) Fields() []*types.Var { return ix.fields }
+
+// buildFieldIndex walks every module file once per classification pass:
+// first the special shapes (atomic call arguments, assignment targets,
+// ++/--, address-taking), then every remaining field selector as a plain
+// read.
+func buildFieldIndex(m *Module) *FieldIndex {
+	ix := &FieldIndex{m: m, seen: map[*types.Var]*AccessesFact{}}
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			indexFile(ix, pkg, f)
+		}
+	}
+	for _, field := range ix.fields {
+		m.ExportObjectFact(field, ix.seen[field])
+	}
+	return ix
+}
+
+// indexFile records every field access in f.
+func indexFile(ix *FieldIndex, pkg *LoadedPackage, f *ast.File) {
+	// classified remembers selectors already recorded by a special shape so
+	// the generic read pass does not double-count them.
+	classified := map[*ast.SelectorExpr]bool{}
+
+	record := func(sel *ast.SelectorExpr, atomic, write bool) {
+		field := fieldOf(pkg.TypesInfo, sel)
+		if field == nil || isTypedAtomic(field.Type()) || !ix.m.DefinedInModule(field) {
+			return
+		}
+		classified[sel] = true
+		fact := ix.seen[field]
+		if fact == nil {
+			fact = &AccessesFact{}
+			ix.seen[field] = fact
+			ix.fields = append(ix.fields, field)
+		}
+		fact.Accesses = append(fact.Accesses, FieldAccess{
+			Pos: sel.Sel.Pos(), PkgPath: pkg.Path, Atomic: atomic, Write: write,
+		})
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !isAtomicCall(pkg.TypesInfo, n) {
+				return true
+			}
+			for _, arg := range n.Args {
+				if sel := addrOfField(arg); sel != nil {
+					record(sel, true, true)
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					record(sel, false, true)
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+				record(sel, false, true)
+			}
+		case *ast.UnaryExpr:
+			// A plain &x.f (not under an atomic call, handled above with
+			// precedence by the classified set below) may be written through.
+			if n.Op == token.AND {
+				if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok && !classified[sel] {
+					record(sel, false, true)
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && !classified[sel] {
+			record(sel, false, false)
+		}
+		return true
+	})
+}
+
+// fieldOf resolves sel to the struct field it selects, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// addrOfField unwraps &x.f to the field selector, or nil.
+func addrOfField(e ast.Expr) *ast.SelectorExpr {
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	sel, _ := ast.Unparen(u.X).(*ast.SelectorExpr)
+	return sel
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package function.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// isTypedAtomic reports whether t is one of sync/atomic's typed values
+// (atomic.Int64, atomic.Bool, ...), whose every access is atomic by
+// construction.
+func isTypedAtomic(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

@@ -32,20 +32,18 @@ func RunFixture(t *testing.T, dir string, analyzers ...*Analyzer) {
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", fixture, err)
 	}
-	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
 				t.Fatalf("analyzer %s rejected its own fixture package %s", a.Name, pkg.Path)
 			}
-			pass := &Pass{
-				Analyzer: a, Fset: l.Fset, Files: pkg.Files, Pkg: pkg.Pkg,
-				TypesInfo: pkg.TypesInfo, Annot: pkg.Annot, diags: &diags,
-			}
-			if err := a.Run(pass); err != nil {
-				t.Fatalf("%s: %v", a.Name, err)
-			}
 		}
+	}
+	// The shared driver builds the fixture-scoped Module (facts, call
+	// graph, field index) exactly as a real run does.
+	var diags []Diagnostic
+	if err := analyze(l.Fset, pkgs, analyzers, &diags); err != nil {
+		t.Fatalf("analyzing fixture %s: %v", fixture, err)
 	}
 	sortDiagnostics(diags)
 	checkWants(t, l.Fset, pkgs, diags)

@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// LeakCheck guards the cancellation contract's goroutine side: in the
+// cancellable packages, a goroutine spawned by a ctx-holding function that
+// blocks on a bare channel send or receive can outlive the request forever
+// once the consumer gives up — the classic goroutine leak. Every blocking
+// channel operation in such goroutines must sit in a select with a
+// ctx.Done() (or other done-channel) arm. Three shapes are recognized as
+// safe and skipped:
+//
+//   - selects containing a Done() receive arm (the blessed shape);
+//   - sends on channels created in the same function with a non-zero
+//     constant buffer (`errc := make(chan error, 1)`, serve's
+//     one-shot result shape — the send cannot block);
+//   - range-over-channel drains (they terminate on close, the fan-out
+//     barrier pattern).
+//
+// A send proven to unblock regardless of cancellation (the planner
+// producer whose workers always drain to close) carries //p2:ctx-ok <why>.
+var LeakCheck = &Analyzer{
+	Name: "leakcheck",
+	Doc: "in cancellable packages, goroutines spawned by ctx-holding functions must not block on " +
+		"bare channel sends/receives — use a select with a ctx.Done() arm; proven-safe sends carry //p2:ctx-ok",
+	AppliesTo: inCancellable,
+	Run:       runLeakCheck,
+}
+
+func runLeakCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok || !takesContext(fn.Type()) {
+				continue // no ctx in scope: the function owns its lifetime
+			}
+			buffered := bufferedChans(pass, fd.Body)
+			// Local closures later launched via `go name()` count as spawned
+			// goroutines too.
+			localFns := map[types.Object]*ast.FuncLit{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok || len(as.Lhs) != len(as.Rhs) {
+					return true
+				}
+				for i := range as.Lhs {
+					id, ok := as.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue
+					}
+					lit, ok := as.Rhs[i].(*ast.FuncLit)
+					if !ok {
+						continue
+					}
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						localFns[obj] = lit
+					} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+						localFns[obj] = lit
+					}
+				}
+				return true
+			})
+			seen := map[*ast.FuncLit]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				var lit *ast.FuncLit
+				switch fun := ast.Unparen(g.Call.Fun).(type) {
+				case *ast.FuncLit:
+					lit = fun
+				case *ast.Ident:
+					lit = localFns[pass.TypesInfo.Uses[fun]]
+				}
+				if lit != nil && !seen[lit] {
+					seen[lit] = true
+					checkGoroutineBlocks(pass, lit.Body, buffered)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// bufferedChans collects the channel objects body creates with a non-zero
+// constant buffer: sends on them cannot block while the buffer lasts, and
+// the one-shot `make(chan error, 1)` result shape relies on exactly that.
+func bufferedChans(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	record := func(lhs, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return
+		}
+		fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fun.Name != "make" || !isBuiltin(pass, fun) {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[call.Args[1]]
+		if !ok || tv.Value == nil {
+			return
+		}
+		if v, ok := constant.Int64Val(tv.Value); !ok || v <= 0 {
+			return
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			out[obj] = true
+		} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			out[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkGoroutineBlocks walks a goroutine body flagging bare blocking
+// channel operations. Subtrees under a select with a Done arm are safe and
+// skipped wholesale; range-over-channel bodies are entered (the drain
+// terminates, but an inner bare send still blocks).
+func checkGoroutineBlocks(pass *Pass, body *ast.BlockStmt, buffered map[types.Object]bool) {
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectStmt:
+				if selectHasDoneArm(n) {
+					return false // every arm here can be abandoned via Done
+				}
+				// A select without a Done arm blocks like its arms do:
+				// descend and let the arms be flagged individually.
+				return true
+			case *ast.SendStmt:
+				if buffered[rootObject(pass, n.Chan)] {
+					return true
+				}
+				if pass.Annot.Covers(n.Pos(), MarkerCtxOk) {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"select { case ch <- v: case <-ctx.Done(): return }, or a sufficiently buffered channel, or annotate //p2:ctx-ok <why>",
+					"goroutine blocks on channel send without a ctx.Done() select arm: it leaks when the consumer is cancelled")
+			case *ast.UnaryExpr:
+				if n.Op != token.ARROW {
+					return true
+				}
+				if isDoneRecv(n) || buffered[rootObject(pass, n.X)] {
+					return true
+				}
+				if pass.Annot.Covers(n.Pos(), MarkerCtxOk) {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"select { case v := <-ch: case <-ctx.Done(): return }, or annotate //p2:ctx-ok <why>",
+					"goroutine blocks on channel receive without a ctx.Done() select arm: it leaks when the sender is cancelled")
+			case *ast.RangeStmt:
+				if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						// The drain itself terminates on close; only check the body.
+						walk(n.Body)
+						return false
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+}
+
+// selectHasDoneArm reports whether sel contains a receive arm on a Done()
+// call — ctx.Done() or any compatible done-channel accessor.
+func selectHasDoneArm(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		var recv ast.Expr
+		switch s := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			recv = s.X
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				recv = s.Rhs[0]
+			}
+		}
+		if u, ok := ast.Unparen(recv).(*ast.UnaryExpr); ok && u.Op == token.ARROW && isDoneCall(u.X) {
+			return true
+		}
+	}
+	return false
+}
+
+// isDoneRecv reports whether u is a direct `<-x.Done()` receive — waiting
+// for cancellation is itself cancellation-aware.
+func isDoneRecv(u *ast.UnaryExpr) bool {
+	return isDoneCall(u.X)
+}
+
+// isDoneCall reports whether e is a call of a method named Done.
+func isDoneCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Done"
+}

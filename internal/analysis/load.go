@@ -3,6 +3,7 @@ package analysis
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -133,16 +134,16 @@ func (l *Loader) goList(patterns []string) ([]listedPackage, error) {
 	cmd.Stdout = &stdout
 	cmd.Stderr = &stderr
 	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
 	}
 	var listed []listedPackage
 	dec := json.NewDecoder(&stdout)
 	for {
 		var lp listedPackage
-		if err := dec.Decode(&lp); err == io.EOF {
+		if err := dec.Decode(&lp); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("go list: decoding output: %v", err)
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
 		}
 		listed = append(listed, lp)
 	}
@@ -155,7 +156,7 @@ func (l *Loader) typecheck(lp listedPackage) (*LoadedPackage, error) {
 	for _, name := range lp.GoFiles {
 		f, err := parser.ParseFile(l.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+			return nil, fmt.Errorf("%s: %w", lp.ImportPath, err)
 		}
 		files = append(files, f)
 	}
@@ -174,7 +175,7 @@ func (l *Loader) typecheck(lp listedPackage) (*LoadedPackage, error) {
 	}
 	pkg, err := conf.Check(lp.ImportPath, l.Fset, files, info)
 	if err != nil && !l.Lenient {
-		return nil, fmt.Errorf("typecheck %s: %v", lp.ImportPath, err)
+		return nil, fmt.Errorf("typecheck %s: %w", lp.ImportPath, err)
 	}
 	if pkg != nil {
 		l.pkgs[lp.ImportPath] = pkg
@@ -190,7 +191,9 @@ func (l *Loader) typecheck(lp listedPackage) (*LoadedPackage, error) {
 }
 
 // Run loads the patterns and applies every analyzer to each package it
-// accepts, returning the position-sorted diagnostics.
+// accepts, returning the position-sorted diagnostics. The whole-run Module
+// (facts, call graph, field index) is built once, every analyzer's Collect
+// hook runs before any Run, and each pass carries the shared Module.
 func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	l := NewLoader(dir)
 	pkgs, err := l.Load(patterns...)
@@ -198,6 +201,23 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 		return nil, err
 	}
 	var diags []Diagnostic
+	if err := analyze(l.Fset, pkgs, analyzers, &diags); err != nil {
+		return nil, err
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// analyze is the shared driver body behind Run and the fixture harness:
+// build the Module, run Collect hooks, then run each accepting analyzer
+// over each package.
+func analyze(fset *token.FileSet, pkgs []*LoadedPackage, analyzers []*Analyzer, diags *[]Diagnostic) error {
+	m := BuildModule(fset, pkgs)
+	for _, a := range analyzers {
+		if a.Collect != nil {
+			a.Collect(m)
+		}
+	}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
@@ -205,18 +225,18 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 			}
 			pass := &Pass{
 				Analyzer:  a,
-				Fset:      l.Fset,
+				Fset:      fset,
 				Files:     pkg.Files,
 				Pkg:       pkg.Pkg,
 				TypesInfo: pkg.TypesInfo,
 				Annot:     pkg.Annot,
-				diags:     &diags,
+				Module:    m,
+				diags:     diags,
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+				return fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
 	}
-	sortDiagnostics(diags)
-	return diags, nil
+	return nil
 }

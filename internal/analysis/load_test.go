@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// load_test.go covers the loader's error paths: packages that do not
+// parse, packages that do not typecheck (strict vs Lenient), missing
+// export data, and bad patterns. Each writes a throwaway module so the
+// failures are hermetic and deliberate.
+
+// writeModule lays out a one-package module under a temp dir and returns
+// its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module broken\n\ngo 1.24.0\n"
+	for name, src := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestLoadSyntaxError(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"bad/bad.go": "package bad\n\nfunc oops( {\n",
+	})
+	// go list -e still reports the package; the parse failure must surface
+	// from typecheck with the import path in the message.
+	_, err := NewLoader(root).Load("./bad")
+	if err == nil {
+		t.Fatal("Load succeeded on a package that does not parse")
+	}
+	if !strings.Contains(err.Error(), "broken/bad") {
+		t.Errorf("error does not name the failing package: %v", err)
+	}
+}
+
+func TestLoadTypeErrorStrictVsLenient(t *testing.T) {
+	files := map[string]string{
+		"bad/bad.go": "package bad\n\nvar x int = \"not an int\"\n",
+	}
+	t.Run("strict", func(t *testing.T) {
+		// go list -export may report the compile failure itself before
+		// go/types runs; either surface must fail and name the package.
+		_, err := NewLoader(writeModule(t, files)).Load("./bad")
+		if err == nil || !strings.Contains(err.Error(), "broken/bad") {
+			t.Errorf("strict mode must fail with the package named, got: %v", err)
+		}
+	})
+	t.Run("lenient", func(t *testing.T) {
+		l := NewLoader(writeModule(t, files))
+		l.Lenient = true
+		pkgs, err := l.Load("./bad")
+		if err != nil {
+			t.Fatalf("lenient mode must tolerate type errors, got: %v", err)
+		}
+		if len(pkgs) != 1 || len(pkgs[0].TypeErrors) == 0 {
+			t.Errorf("lenient load must record the soft type errors, got %+v", pkgs)
+		}
+	})
+}
+
+func TestLoadBrokenImport(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"bad/bad.go": "package bad\n\nimport \"no/such/dependency\"\n\nvar _ = dependency.X\n",
+	})
+	_, err := NewLoader(root).Load("./bad")
+	if err == nil {
+		t.Fatal("Load succeeded despite an unresolvable import")
+	}
+}
+
+func TestImportMissingExportData(t *testing.T) {
+	// Importing a path go list never materialized export data for must
+	// fail cleanly, not panic.
+	if _, err := NewLoader("").Import("no/such/dependency"); err == nil {
+		t.Error("Import succeeded for a package with no export data")
+	}
+}
+
+func TestLoadBadPattern(t *testing.T) {
+	_, err := NewLoader("").Load("./does/not/exist")
+	if err == nil || !strings.Contains(err.Error(), "does/not/exist") {
+		t.Errorf("bad pattern must fail with the pattern named, got: %v", err)
+	}
+}
+
+func TestLoadNoPatterns(t *testing.T) {
+	// Zero patterns means `go list` defaults to the current directory; from
+	// this package's own dir that loads internal/analysis itself.
+	pkgs, err := NewLoader("").Load()
+	if err != nil {
+		t.Fatalf("Load() with no patterns: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "p2/internal/analysis" {
+		t.Errorf("expected the current package back, got %+v", pkgs)
+	}
+}

@@ -1,0 +1,289 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockSafe flags the three lock-handling shapes that break mutual
+// exclusion silently:
+//
+//   - a sync.Mutex/RWMutex/WaitGroup/Once/Cond (or a struct containing
+//     one) copied by value — a by-value receiver or parameter, a plain
+//     assignment, a range value — so two goroutines end up locking
+//     different copies;
+//   - a Lock/RLock in a function with no matching Unlock/RUnlock on the
+//     same receiver anywhere in the function, the leak that deadlocks the
+//     next caller (the engine convention is `mu.Lock(); defer mu.Unlock()`);
+//   - WaitGroup.Add called inside the spawned goroutine, which races the
+//     scheduler against Wait: Wait can pass before the goroutine ever runs.
+//
+// Shapes proven safe by a happens-before edge (planner fan-out's producer
+// Adds before the workers' drain barrier is released) carry
+// //p2:lock-ok <why>.
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc: "flag locks copied by value, Lock without any matching Unlock in the function, and " +
+		"WaitGroup.Add inside the spawned goroutine; proven-safe shapes carry //p2:lock-ok",
+	Run: runLockSafe,
+}
+
+func runLockSafe(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Copies outside any function (package-level vars) and inside all
+		// function bodies.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkLockCopyAssign(pass, n)
+			case *ast.RangeStmt:
+				checkLockCopyRange(pass, n)
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkLockByValueSig(pass, fd)
+			if fd.Body != nil {
+				checkLockPairing(pass, fd)
+				checkAddInGoroutine(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// lockTypeName returns the sync type t carries by value ("sync.Mutex",
+// ...), recursing through struct fields and arrays, or "" when t is
+// copy-safe. Pointers are copy-safe by definition.
+func lockTypeName(t types.Type) string {
+	seen := map[types.Type]bool{}
+	var rec func(t types.Type) string
+	rec = func(t types.Type) string {
+		if t == nil || seen[t] {
+			return ""
+		}
+		seen[t] = true
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond":
+					return "sync." + obj.Name()
+				}
+			}
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if s := rec(u.Field(i).Type()); s != "" {
+					return s
+				}
+			}
+		case *types.Array:
+			return rec(u.Elem())
+		}
+		return ""
+	}
+	return rec(t)
+}
+
+// checkLockByValueSig flags by-value receivers and parameters carrying a
+// lock: every caller hands the method its own copy.
+func checkLockByValueSig(pass *Pass, fd *ast.FuncDecl) {
+	check := func(fields *ast.FieldList, what string) {
+		if fields == nil {
+			return
+		}
+		for _, field := range fields.List {
+			tv, ok := pass.TypesInfo.Types[field.Type]
+			if !ok {
+				continue
+			}
+			lock := lockTypeName(tv.Type)
+			if lock == "" || pass.Annot.Covers(field.Pos(), MarkerLockOk) {
+				continue
+			}
+			pass.Reportf(field.Pos(),
+				"take a pointer (*"+strings.TrimPrefix(lock, "sync.")+" or the pointer to the containing struct)",
+				"%s passes %s by value: callers lock a copy, not the shared lock", what, lock)
+		}
+	}
+	check(fd.Recv, "receiver")
+	check(fd.Type.Params, "parameter")
+}
+
+// checkLockCopyAssign flags assignments whose right-hand side copies a
+// lock-carrying value out of an existing variable (x, x.f, *p, x[i]).
+// Composite literals and calls construct fresh values and are fine.
+func checkLockCopyAssign(pass *Pass, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) {
+			break
+		}
+		switch ast.Unparen(rhs).(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		default:
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[rhs]
+		if !ok {
+			continue
+		}
+		lock := lockTypeName(tv.Type)
+		if lock == "" || pass.Annot.Covers(as.Pos(), MarkerLockOk) {
+			continue
+		}
+		pass.Reportf(as.Pos(),
+			"copy a pointer to the value instead",
+			"assignment copies %s: goroutines holding the copy and the original exclude nothing", lock)
+	}
+}
+
+// checkLockCopyRange flags range loops whose value variable copies a
+// lock-carrying element.
+func checkLockCopyRange(pass *Pass, rng *ast.RangeStmt) {
+	if rng.Value == nil {
+		return
+	}
+	// `for _, v := range` defines v (Defs); `for _, v = range` reuses it
+	// (Types has the expression).
+	var t types.Type
+	if id, ok := ast.Unparen(rng.Value).(*ast.Ident); ok && pass.TypesInfo.Defs[id] != nil {
+		t = pass.TypesInfo.Defs[id].Type()
+	} else if tv, ok := pass.TypesInfo.Types[rng.Value]; ok {
+		t = tv.Type
+	}
+	lock := lockTypeName(t)
+	if lock == "" || pass.Annot.Covers(rng.Pos(), MarkerLockOk) {
+		return
+	}
+	pass.Reportf(rng.Pos(),
+		"range over indices and take pointers to the elements",
+		"range value copies %s out of each element", lock)
+}
+
+// syncMethodCall resolves call to a method declared in package sync,
+// returning the receiver expression and method name.
+func syncMethodCall(pass *Pass, call *ast.CallExpr) (recv ast.Expr, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	fn, isFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return nil, "", false
+	}
+	return sel.X, fn.Name(), true
+}
+
+// checkLockPairing flags Lock/RLock calls in functions containing no
+// Unlock/RUnlock on the same receiver at all. This is deliberately a
+// whole-function count, not path-sensitive flow analysis: the engine
+// convention is `defer mu.Unlock()` right after the Lock, and a function
+// with zero unlocks leaks on every path. Lock-wrapper methods (a name
+// ending in "Lock") are exempt — their unlock twin lives elsewhere.
+func checkLockPairing(pass *Pass, fd *ast.FuncDecl) {
+	if strings.HasSuffix(fd.Name.Name, "Lock") {
+		return
+	}
+	type lockUse struct {
+		positions []ast.Node
+		unlocked  bool
+	}
+	pairs := map[string]*lockUse{} // "recvExpr\x00kind" -> uses
+	key := func(recv ast.Expr, read bool) string {
+		k := types.ExprString(recv)
+		if read {
+			k += "\x00r"
+		}
+		return k
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, name, ok := syncMethodCall(pass, call)
+		if !ok {
+			return true
+		}
+		get := func(read bool) *lockUse {
+			k := key(recv, read)
+			if pairs[k] == nil {
+				pairs[k] = &lockUse{}
+			}
+			return pairs[k]
+		}
+		switch name {
+		case "Lock":
+			get(false).positions = append(get(false).positions, call)
+		case "Unlock":
+			get(false).unlocked = true
+		case "RLock":
+			get(true).positions = append(get(true).positions, call)
+		case "RUnlock":
+			get(true).unlocked = true
+		}
+		return true
+	})
+	for _, use := range pairs {
+		if use.unlocked {
+			continue
+		}
+		for _, call := range use.positions {
+			if pass.Annot.Covers(call.Pos(), MarkerLockOk) {
+				continue
+			}
+			pass.Reportf(call.Pos(),
+				"add `defer mu.Unlock()` after the Lock, or annotate //p2:lock-ok <why>",
+				"Lock with no matching Unlock anywhere in %s: the next caller deadlocks", fd.Name.Name)
+		}
+	}
+}
+
+// checkAddInGoroutine flags WaitGroup.Add inside a go-statement literal:
+// Wait can run before the scheduler ever starts the goroutine, so the Add
+// is not ordered before the Wait it is meant to gate.
+func checkAddInGoroutine(pass *Pass, body *ast.BlockStmt) {
+	flagged := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || flagged[call] {
+				return true
+			}
+			// Add is sync.WaitGroup's only method of that name, so the
+			// sync-package filter alone identifies it.
+			_, name, ok := syncMethodCall(pass, call)
+			if !ok || name != "Add" {
+				return true
+			}
+			flagged[call] = true
+			if pass.Annot.Covers(call.Pos(), MarkerLockOk) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"move the Add before the go statement, or annotate a happens-before-proven site //p2:lock-ok <why>",
+				"WaitGroup.Add inside the spawned goroutine races Wait: Wait may pass before the goroutine runs")
+			return true
+		})
+		return true
+	})
+}

@@ -1,0 +1,28 @@
+// Package atomichygiene is the fixture for the atomichygiene analyzer: a
+// field touched through sync/atomic anywhere must be atomic everywhere.
+// The atomic touches live in this file; the plain accesses that must be
+// flagged live in report.go — the index that connects them is module-wide,
+// so the reasoning is necessarily cross-file.
+package atomichygiene
+
+import "sync/atomic"
+
+// gauge mixes atomic writes (here) with plain accesses (report.go).
+type gauge struct {
+	hits  int64
+	level int64
+	// name is never touched atomically: plain accesses are the norm.
+	name string
+	// safe is a typed atomic: immune by construction, never indexed.
+	safe atomic.Int64
+}
+
+func (g *gauge) bump() {
+	atomic.AddInt64(&g.hits, 1)
+	atomic.StoreInt64(&g.level, 3)
+	g.safe.Add(1)
+}
+
+func (g *gauge) loaded() int64 {
+	return atomic.LoadInt64(&g.hits)
+}

@@ -1,0 +1,32 @@
+package atomichygiene
+
+import "sync/atomic"
+
+// snapshot reads hits plainly although counters.go writes it atomically:
+// the data race the field index exists to catch.
+func (g *gauge) snapshot() int64 {
+	return g.hits // want "field hits is accessed via sync/atomic \(counters.go:21\) but read plainly here"
+}
+
+// reset writes level plainly although counters.go stores it atomically.
+func (g *gauge) reset() {
+	g.level = 0 // want "field level is accessed via sync/atomic \(counters.go:22\) but written plainly here"
+}
+
+// consistent reads through sync/atomic: the blessed shape.
+func (g *gauge) consistent() int64 {
+	return atomic.LoadInt64(&g.hits) + g.safe.Load()
+}
+
+// label touches the never-atomic field: plain access is the norm there.
+func (g *gauge) label() string {
+	return g.name
+}
+
+// initial is a provably single-threaded plain write: the constructor runs
+// before any goroutine shares the gauge.
+func newGauge() *gauge {
+	g := &gauge{}
+	g.hits = 0 //p2:lock-ok constructor-local write before the gauge is shared with any goroutine
+	return g
+}

@@ -1,0 +1,38 @@
+// Package ctxflow is the fixture for the ctxflow analyzer: fresh context
+// roots are banned outside annotated shims, and a function holding a ctx
+// must call the FooCtx variant of any callee that has one. The callee
+// pair lives in work.go — the variant lookup and the flagged call resolve
+// cross-file through the call graph.
+package ctxflow
+
+import "context"
+
+// search holds a ctx but calls the context-blind plan variant declared in
+// work.go even though planCtx exists there.
+func search(ctx context.Context, n int) int {
+	total := plan(n) // want "search holds a ctx but calls plan, whose context-threading variant planCtx exists"
+	total += planCtx(ctx, n)
+	return total
+}
+
+// searchEngine does the same through a method pair.
+func searchEngine(ctx context.Context, e *engine, n int) int {
+	return e.run(n) + e.runCtx(ctx, n) // want "searchEngine holds a ctx but calls run, whose context-threading variant runCtx exists"
+}
+
+// freshRoots creates unthreaded context roots.
+func freshRoots() {
+	_ = context.Background() // want "context.Background creates a fresh context root"
+	_ = context.TODO()       // want "context.TODO creates a fresh context root"
+}
+
+// plainCaller holds no ctx: calling the blind variant is its only option,
+// and the boundary shim below owns the fresh root.
+func plainCaller(n int) int {
+	return plan(n)
+}
+
+// boundary is the blessed compatibility-shim shape.
+func boundary(n int) int {
+	return planCtx(context.Background(), n) //p2:ctx-ok documented no-deadline compatibility shim wrapping planCtx
+}

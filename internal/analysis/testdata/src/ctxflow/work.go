@@ -1,0 +1,27 @@
+package ctxflow
+
+import "context"
+
+// plan is the context-blind variant; planCtx is its threading twin. The
+// pair is declared here, in a different file from every caller, so the
+// analyzer's variant resolution is necessarily cross-file.
+func plan(n int) int { return n * 2 }
+
+func planCtx(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n * 2
+}
+
+// engine carries the method-pair equivalent.
+type engine struct{ bias int }
+
+func (e *engine) run(n int) int { return n + e.bias }
+
+func (e *engine) runCtx(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n + e.bias
+}

@@ -1,0 +1,54 @@
+// Package errflow is the fixture for the errflow analyzer: identity
+// comparisons against non-nil errors and fmt.Errorf calls that stringify
+// an error without %w.
+package errflow
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var errStale = errors.New("stale")
+
+func compare(err error) int {
+	if err == io.EOF { // want "error compared with ==: identity comparison misses wrapped errors"
+		return 1
+	}
+	if err != errStale { // want "error compared with !=: identity comparison misses wrapped errors"
+		return 2
+	}
+	// nil comparisons are the idiom and stay untouched.
+	if err == nil {
+		return 3
+	}
+	if err != nil {
+		return 4
+	}
+	return 0
+}
+
+// compareIs is the blessed shape.
+func compareIs(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, errStale)
+}
+
+// wrapFlat cuts the chain: %v renders the error to dead text.
+func wrapFlat(err error) error {
+	return fmt.Errorf("plan failed: %v", err) // want "fmt.Errorf stringifies an error argument without %w"
+}
+
+// wrapImplicit cuts the chain with %s just the same.
+func wrapImplicit(name string, err error) error {
+	return fmt.Errorf("plan %s failed: %s", name, err) // want "fmt.Errorf stringifies an error argument without %w"
+}
+
+// wrapKept is the blessed shape: the cause stays inspectable.
+func wrapKept(err error) error {
+	return fmt.Errorf("plan failed: %w", err)
+}
+
+// noError formats only plain values: nothing to wrap.
+func noError(name string, n int) error {
+	return fmt.Errorf("plan %s failed after %d steps", name, n)
+}

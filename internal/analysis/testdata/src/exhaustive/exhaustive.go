@@ -1,0 +1,67 @@
+// Package exhaustive is the fixture for the exhaustive analyzer: switches
+// over module-defined enum types (named basic type plus declared
+// constants) must cover every accessible constant or carry a default.
+package exhaustive
+
+type mode int
+
+const (
+	modeOff mode = iota
+	modeRerank
+	modeAll
+)
+
+// name misses a constant and has no default: a grown enum silently falls
+// through.
+func name(m mode) string {
+	switch m { // want "switch over mode misses modeAll"
+	case modeOff:
+		return "off"
+	case modeRerank:
+		return "rerank"
+	}
+	return "?"
+}
+
+// full covers every constant: no default needed.
+func full(m mode) string {
+	switch m {
+	case modeOff:
+		return "off"
+	case modeRerank, modeAll:
+		return "measured"
+	}
+	return "?"
+}
+
+// defaulted handles growth explicitly.
+func defaulted(m mode) string {
+	switch m {
+	case modeOff:
+		return "off"
+	default:
+		return "on"
+	}
+}
+
+// flag has a single constant: one constant is a flag, not an enum space.
+type flag int
+
+const flagOn flag = 1
+
+func flagged(f flag) bool {
+	switch f {
+	case flagOn:
+		return true
+	}
+	return false
+}
+
+// plain switches over non-enum types are out of scope.
+func plain(n int) bool {
+	switch n {
+	case 0:
+		return false
+	}
+	return true
+}

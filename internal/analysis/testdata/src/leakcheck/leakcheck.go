@@ -1,0 +1,81 @@
+// Package leakcheck is the fixture for the leakcheck analyzer: goroutines
+// spawned by ctx-holding functions must not block on bare channel
+// operations — every send/receive needs a ctx.Done() select arm, a
+// sufficient buffer, or a //p2:ctx-ok proof.
+package leakcheck
+
+import "context"
+
+// produce pushes into an unbuffered channel with no way out: when the
+// consumer is cancelled and stops receiving, the goroutine leaks forever.
+func produce(ctx context.Context, xs []int) <-chan int {
+	ch := make(chan int)
+	go func() {
+		defer close(ch)
+		for _, x := range xs {
+			ch <- x // want "goroutine blocks on channel send without a ctx.Done\(\) select arm"
+		}
+	}()
+	return ch
+}
+
+// produceSelect is the blessed shape: every send can be abandoned.
+func produceSelect(ctx context.Context, xs []int) <-chan int {
+	ch := make(chan int)
+	go func() {
+		defer close(ch)
+		for _, x := range xs {
+			select {
+			case ch <- x:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return ch
+}
+
+// oneShot sends into capacity: the buffered one-result shape cannot block.
+func oneShot(ctx context.Context) <-chan error {
+	errc := make(chan error, 1)
+	go func() { errc <- ctx.Err() }()
+	return errc
+}
+
+// namedWorker launches a local closure: the analyzer resolves it like a
+// literal.
+func namedWorker(ctx context.Context, in chan int) {
+	worker := func() {
+		<-in // want "goroutine blocks on channel receive without a ctx.Done\(\) select arm"
+	}
+	go worker()
+}
+
+// waitDone blocks on cancellation itself: cancellation-aware by
+// definition.
+func waitDone(ctx context.Context, cleanup func()) {
+	go func() {
+		<-ctx.Done()
+		cleanup()
+	}()
+}
+
+// drain ranges over the channel: the loop ends when the producer closes
+// it, the fan-out barrier pattern.
+func drain(ctx context.Context, in chan int, out chan int) {
+	go func() {
+		total := 0
+		for v := range in {
+			total += v
+		}
+		out <- total //p2:ctx-ok the producer side always closes in even when cancelled, so the drain terminates and out is buffered by the caller
+	}()
+}
+
+// noCtx holds no context: the function owns its goroutine's lifetime and
+// is out of the contract's scope.
+func noCtx(a, b chan int) chan int {
+	out := make(chan int)
+	go func() { out <- <-a + <-b }()
+	return out
+}

@@ -1,0 +1,106 @@
+// Package locksafe is the fixture for the locksafe analyzer: locks copied
+// by value, Lock calls with no matching Unlock anywhere in the function,
+// and WaitGroup.Add inside the spawned goroutine.
+package locksafe
+
+import "sync"
+
+type pool struct {
+	mu sync.Mutex
+	n  int
+}
+
+// byValue receives its own copy of the mutex: callers exclude nothing.
+func byValue(mu sync.Mutex) { // want "parameter passes sync.Mutex by value"
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// valueReceiver locks a copy of the whole pool.
+func (p pool) valueReceiver() int { // want "receiver passes sync.Mutex by value"
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
+}
+
+// copyOut copies the lock-bearing struct out of the pointer.
+func copyOut(p *pool) int {
+	c := *p // want "assignment copies sync.Mutex"
+	return c.n
+}
+
+// copyRange copies a lock-bearing element per iteration.
+func copyRange(ps []pool) int {
+	total := 0
+	for _, p := range ps { // want "range value copies sync.Mutex"
+		total += p.n
+	}
+	return total
+}
+
+// pointers move locks correctly: no copies anywhere.
+func pointers(p *pool, ps []*pool) *pool {
+	q := p
+	for _, e := range ps {
+		q = e
+	}
+	return q
+}
+
+// leak locks without any unlock in the function: the next caller blocks
+// forever.
+func leak(p *pool) int {
+	p.mu.Lock() // want "Lock with no matching Unlock anywhere in leak"
+	return p.n
+}
+
+// deferred is the blessed shape.
+func deferred(p *pool) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
+}
+
+// readLeak leaks the read lock: RLock pairs with RUnlock, and the Unlock
+// of the write side does not discharge it.
+func readLeak(p *pool, mu *sync.RWMutex) int {
+	mu.RLock() // want "Lock with no matching Unlock anywhere in readLeak"
+	return p.n
+}
+
+// addInside races Add against Wait: Wait may pass before the scheduler
+// ever starts the goroutine.
+func addInside(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // want "WaitGroup.Add inside the spawned goroutine races Wait"
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// addOutside is the blessed shape: the count is ahead of Wait by
+// program order.
+func addOutside(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done() }()
+	}
+	wg.Wait()
+}
+
+// addBlessed is the annotated producer shape: a happens-before edge
+// outside the analyzer's view orders the Add before Wait.
+func addBlessed(done chan struct{}) {
+	var wg sync.WaitGroup
+	go func() {
+		defer close(done)
+		wg.Add(1) //p2:lock-ok Add happens before close(done), and Wait runs only after <-done
+		go func() { defer wg.Done() }()
+	}()
+	<-done
+	wg.Wait()
+}

@@ -334,7 +334,7 @@ func parseInstruction(s string) (Instruction, error) {
 	}
 	slice, err := strconv.Atoi(strings.TrimSpace(fields[0]))
 	if err != nil {
-		return in, fmt.Errorf("dsl: bad slice in %q: %v", s, err)
+		return in, fmt.Errorf("dsl: bad slice in %q: %w", s, err)
 	}
 	in.Slice = slice
 	form := strings.TrimSpace(fields[1])
@@ -344,12 +344,12 @@ func parseInstruction(s string) (Instruction, error) {
 	case strings.HasPrefix(form, "Parallel(") && strings.HasSuffix(form, ")"):
 		in.Form = Parallel
 		if in.Arg, err = strconv.Atoi(form[len("Parallel(") : len(form)-1]); err != nil {
-			return in, fmt.Errorf("dsl: bad Parallel arg in %q: %v", s, err)
+			return in, fmt.Errorf("dsl: bad Parallel arg in %q: %w", s, err)
 		}
 	case strings.HasPrefix(form, "Master(") && strings.HasSuffix(form, ")"):
 		in.Form = Master
 		if in.Arg, err = strconv.Atoi(form[len("Master(") : len(form)-1]); err != nil {
-			return in, fmt.Errorf("dsl: bad Master arg in %q: %v", s, err)
+			return in, fmt.Errorf("dsl: bad Master arg in %q: %w", s, err)
 		}
 	default:
 		return in, fmt.Errorf("dsl: unknown form %q", form)

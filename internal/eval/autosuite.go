@@ -20,7 +20,7 @@ import (
 // order. Together with RunSuite it completes the accuracy tables: pinned
 // Ring/Tree rows from the paper plus an auto row per system.
 func RunSuiteAuto(s Suite) ([]*Result, error) {
-	return RunSuiteAutoCtx(context.Background(), s)
+	return RunSuiteAutoCtx(context.Background(), s) //p2:ctx-ok documented no-deadline compatibility shim wrapping RunSuiteAutoCtx
 }
 
 // RunSuiteAutoCtx is RunSuiteAuto under a context; cancellation aborts

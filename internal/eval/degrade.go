@@ -75,7 +75,7 @@ type candKey struct{ mi, pi int }
 // (full rankings, no top-K pruning, analytic mode — the comparison is about
 // the cost model's ranking) and compares the outcomes.
 func RunDegrade(cfg DegradeConfig) (*DegradeResult, error) {
-	return RunDegradeCtx(context.Background(), cfg)
+	return RunDegradeCtx(context.Background(), cfg) //p2:ctx-ok documented no-deadline compatibility shim wrapping RunDegradeCtx
 }
 
 // RunDegradeCtx is RunDegrade under a context. Cancellation aborts the

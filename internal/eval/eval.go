@@ -273,7 +273,7 @@ func Accuracy(results []*Result, ks []int) map[int]float64 {
 // Run executes the full sweep for a config: enumerate matrices, synthesize
 // per matrix, lower, predict, measure.
 func Run(cfg Config) (*Result, error) {
-	return RunCtx(context.Background(), cfg)
+	return RunCtx(context.Background(), cfg) //p2:ctx-ok documented no-deadline compatibility shim wrapping RunCtx
 }
 
 // RunCtx is Run under a context: cancellation is checked between matrices

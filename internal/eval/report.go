@@ -140,7 +140,7 @@ func BuildTable4(results []*Result) *Table {
 // comparing the searched per-step algorithm assignment against the
 // paper's pinned NCCL_ALGO settings.
 func RunAutoComparison(cfg Config) (ring, tree, auto *Result, err error) {
-	return RunAutoComparisonCtx(context.Background(), cfg)
+	return RunAutoComparisonCtx(context.Background(), cfg) //p2:ctx-ok documented no-deadline compatibility shim wrapping RunAutoComparisonCtx
 }
 
 // RunAutoComparisonCtx is RunAutoComparison under a context; cancellation

@@ -63,7 +63,7 @@ func PaperSuites() []Suite {
 // RunSuite executes every (case × reduction axes × algorithm) sweep for a
 // system and returns the per-config results in deterministic order.
 func RunSuite(s Suite, algos []cost.Algorithm) ([]*Result, error) {
-	return RunSuiteCtx(context.Background(), s, algos)
+	return RunSuiteCtx(context.Background(), s, algos) //p2:ctx-ok documented no-deadline compatibility shim wrapping RunSuiteCtx
 }
 
 // RunSuiteCtx is RunSuite under a context; the first cancellation

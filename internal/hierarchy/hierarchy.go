@@ -248,6 +248,10 @@ func buildFull(kind Kind, m *placement.Matrix, reduceAxes []int, opts Options) (
 					name: fmt.Sprintf("x%d,%d", i, j), reduction: isRed[i]})
 			}
 		}
+	default:
+		// Build routes KindReductionAxes to buildReduction; any kind landing
+		// here would otherwise build an empty hierarchy silently.
+		return nil, fmt.Errorf("hierarchy: buildFull cannot handle kind %v", kind)
 	}
 	kept := keepRefs(refs, opts)
 	sizes := refSizes(kept)

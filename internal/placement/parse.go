@@ -76,7 +76,7 @@ func parseIntList(s string) ([]int, error) {
 	for i, f := range fields {
 		v, err := strconv.Atoi(f)
 		if err != nil {
-			return nil, fmt.Errorf("placement: bad integer %q: %v", f, err)
+			return nil, fmt.Errorf("placement: bad integer %q: %w", f, err)
 		}
 		out[i] = v
 	}

@@ -394,6 +394,7 @@ func (ms *matrixScorer) stepTime(in dsl.Instruction, st lower.Step) stepChoice {
 // brute-force path.
 func (p *Planner) PlanMatrix(mi int, m *placement.Matrix, reduceAxes []int, model *cost.Model, opts Options) ([]*Candidate, error) {
 	var out []*Candidate
+	//p2:ctx-ok PlanMatrix is the documented uncancellable single-matrix entry point; PlanMatrixCtx does not exist by design
 	err := p.planMatrix(context.Background(), &workerState{}, mi, m, reduceAxes, model, opts, &runCounters{}, newThreshold(),
 		func(c *Candidate) { out = append(out, c) })
 	if err != nil {
@@ -538,7 +539,7 @@ func sliceStream(matrices []*placement.Matrix) func(func(*placement.Matrix) bool
 // analytic stage unpruned so that every candidate exists to be measured,
 // and truncates to TopK only after the measured sort.
 func (p *Planner) RunStream(stream func(func(*placement.Matrix) bool) error, reduceAxes []int, model *cost.Model, opts Options) ([]*Candidate, Stats, error) {
-	return p.RunStreamCtx(context.Background(), stream, reduceAxes, model, opts)
+	return p.RunStreamCtx(context.Background(), stream, reduceAxes, model, opts) //p2:ctx-ok documented no-deadline compatibility shim wrapping RunStreamCtx
 }
 
 // RunStreamCtx is RunStream under a context. With an uncancelled context
@@ -724,7 +725,7 @@ func (p *Planner) bestForReduction(ctx context.Context, ws *workerState, mi int,
 // weighted measured time (rerank.go); RerankAll disables the placement
 // top-K during the analytic stage and truncates after the measured sort.
 func (p *Planner) RunJoint(matrices []*placement.Matrix, reds []JointSpec, opts Options) ([]*JointCandidate, Stats, error) {
-	return p.RunJointCtx(context.Background(), matrices, reds, opts)
+	return p.RunJointCtx(context.Background(), matrices, reds, opts) //p2:ctx-ok documented no-deadline compatibility shim wrapping RunJointCtx
 }
 
 // RunJointCtx is RunJoint under a context, with the same anytime contract
@@ -967,10 +968,10 @@ func fanOut[T any](ctx context.Context, opts Options, stream func(func(*placemen
 				return false
 			}
 			if produced < workers {
-				wg.Add(1)
+				wg.Add(1) //p2:lock-ok Add happens before close(prodDone); Wait runs only after <-prodDone, so the count is always ahead of Wait
 				go worker()
 			}
-			ch <- item{produced, m}
+			ch <- item{produced, m} //p2:ctx-ok workers drain ch to close even after cancellation (the stream callback stops producing via ctx.Err), so this send always completes
 			produced++
 			return true
 		})

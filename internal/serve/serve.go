@@ -242,7 +242,7 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, logw io.Writer
 	case <-ctx.Done():
 	}
 	fmt.Fprintf(logw, "p2 serve draining (in-flight requests get up to %s)\n", s.cfg.DrainTimeout)
-	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout) //p2:ctx-ok drain runs after the serve ctx is already cancelled; the fresh root gives in-flight requests their bounded grace
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil {
 		return fmt.Errorf("serve: drain: %w", err)
@@ -472,7 +472,7 @@ func resolve(pr *PlanRequest) (*p2.System, p2.Request, string, error) {
 		req.Algo, req.Algos, algoKey = p2.Ring, p2.ExtendedAlgorithms, "auto"
 	default:
 		if req.Algo, err = cost.ParseAlgorithm(pr.Algo); err != nil {
-			return nil, p2.Request{}, "", fmt.Errorf(`%v (or "auto" to search the per-step assignment)`, err)
+			return nil, p2.Request{}, "", fmt.Errorf(`%w (or "auto" to search the per-step assignment)`, err)
 		}
 		algoKey = req.Algo.String()
 	}

@@ -279,7 +279,7 @@ func parseGroups(line string) ([][]int, error) {
 		for _, f := range strings.Split(rest[open+1:open+end], ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(f))
 			if err != nil {
-				return nil, fmt.Errorf("bad replica id in %q: %v", line, err)
+				return nil, fmt.Errorf("bad replica id in %q: %w", line, err)
 			}
 			g = append(g, v)
 		}

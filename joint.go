@@ -141,7 +141,7 @@ func PlanJoint(sys *System, axes []int, reductions []Reduction) (*JointPlan, err
 // PlanJointSerial; measured modes (opts.Measure) re-sort it by emulated
 // totals, equally deterministically.
 func PlanJointOpts(sys *System, axes []int, reductions []Reduction, opts JointOptions) (*JointPlan, error) {
-	return PlanJointCtx(context.Background(), sys, axes, reductions, opts)
+	return PlanJointCtx(context.Background(), sys, axes, reductions, opts) //p2:ctx-ok documented no-deadline compatibility entry point wrapping PlanJointCtx
 }
 
 // PlanJointCtx is PlanJointOpts under a context, with the same anytime

@@ -440,7 +440,7 @@ func (req Request) withDefaults(sys *System) Request {
 // byte-identical at every parallelism level — because the emulator and
 // the tie order are pure functions of the request.
 func Plan(sys *System, req Request) (*PlanResult, error) {
-	return PlanCtx(context.Background(), sys, req)
+	return PlanCtx(context.Background(), sys, req) //p2:ctx-ok documented no-deadline compatibility entry point wrapping PlanCtx
 }
 
 // PlanCtx is Plan under a context, with anytime semantics: an uncancelled

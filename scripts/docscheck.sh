@@ -2,7 +2,8 @@
 # docscheck.sh — documentation consistency checks, run in CI:
 #
 #  1. Every CLI flag mentioned in README.md (a token like `-topk` after a
-#     space, backtick or parenthesis) is actually defined by cmd/p2.
+#     space, backtick or parenthesis) is actually defined by cmd/p2 or
+#     cmd/p2lint.
 #  2. DESIGN.md's "Contents" index matches its numbered "## N." section
 #     headers exactly, both ways.
 #  3. The //p2: annotation markers documented in DESIGN.md §10, the set
@@ -16,15 +17,17 @@ cd "$(dirname "$0")/.."
 
 fail=0
 
-# --- 1. README flags exist in cmd/p2 ---------------------------------------
-# Flags defined anywhere in cmd/p2: flag.FlagSet
+# --- 1. README flags exist in cmd/p2 or cmd/p2lint --------------------------
+# Flags defined anywhere in the CLIs: flag.FlagSet
 # String/Int/Bool/Float64/Duration declarations name the flag in the
 # first argument, Var declarations (used for repeatable flags like
 # -fault) in the second.
 defined=$(
   {
-    grep -hoE 'fs\.(String|Int|Bool|Float64|Duration)\("[a-z-]+"' cmd/p2/*.go
+    grep -hoE 'fs\.(String|Int|Bool|Float64|Duration)\("[a-z-]+"' cmd/p2/*.go cmd/p2lint/*.go
     grep -hoE 'fs\.Var\([^,]+, "[a-z-]+"' cmd/p2/*.go
+    # package flag defines -h/-help on every FlagSet implicitly.
+    printf 'h\nhelp\n'
   } | sed -E 's/.*"([a-z-]+)"/\1/' | sort -u
 )
 
@@ -98,4 +101,4 @@ done
 if [ "$fail" -ne 0 ]; then
   exit 1
 fi
-echo "docscheck: OK (README flags consistent with cmd/p2; DESIGN.md index matches headers; //p2: markers documented, accepted and used consistently)"
+echo "docscheck: OK (README flags consistent with cmd/p2 and cmd/p2lint; DESIGN.md index matches headers; //p2: markers documented, accepted and used consistently)"
