@@ -19,7 +19,9 @@
 //	p2 accuracy
 //	p2 degrade    -system superpod:3x4 -axes "[12 8]" -reduce "[0]" -fault "gpu:0/0/0:bw/10"   # ranking shift under a degraded link
 //	p2 degrade    -system a100 -nodes 4 -axes "[4 16]" -reduce "[0]" -fault "node:2:down"      # re-plan around a down NIC
-//	p2 serve      -addr 127.0.0.1:8080 [-max-inflight N] [-cache-size N] [-request-timeout 2s] [-drain 5s]
+//	p2 serve      -addr 127.0.0.1:8080 [-max-inflight N] [-cache-size N] [-request-timeout 2s] [-drain 5s] [-warm]
+//	p2 loadtest   -mode closed -clients 8 -requests 200 -seed 1 [-warm] [-compare-warm] [-json]
+//	p2 loadtest   -mode open -rps 50 -url http://127.0.0.1:8080   # against a running daemon
 //	p2 synth      -system superpod:4x8 -axes "[16 16]" -reduce "[0]" -timeout 200ms            # anytime: best-so-far past the deadline
 package main
 
@@ -72,6 +74,8 @@ func run(args []string, out, errOut io.Writer) int {
 		err = cmdDegrade(rest, out, errOut)
 	case "serve":
 		err = cmdServe(rest, out, errOut)
+	case "loadtest":
+		err = cmdLoadtest(rest, out, errOut)
 	case "help", "-h", "--help":
 		usage(out)
 	default:
@@ -118,5 +122,11 @@ commands:
               around the fault buys
   serve       run the planning daemon: POST /plan with per-request
               deadlines (anytime best-so-far results), /healthz, /statz,
-              a cross-request strategy cache and graceful drain on SIGTERM`)
+              a cross-request strategy cache and graceful drain on SIGTERM
+              (-warm plans the paper-suite catalog into the cache first)
+  loadtest    drive a seeded synthetic workload against the daemon —
+              in-process by default, a remote one with -url — and report
+              throughput, p50/p95/p99/p99.9 latency and per-class counts
+              cross-checked against /statz deltas (-compare-warm measures
+              what cache warm-starting buys)`)
 }

@@ -403,7 +403,7 @@ func TestDegradeDeterministic(t *testing.T) {
 // never see usage text or error spew.
 func TestExitCodeContract(t *testing.T) {
 	subcommands := []string{"placements", "synth", "eval", "export", "hlo",
-		"verify", "trace", "tables", "figure11", "accuracy", "degrade", "serve"}
+		"verify", "trace", "tables", "figure11", "accuracy", "degrade", "serve", "loadtest"}
 	for _, cmd := range subcommands {
 		t.Run(cmd+"/help", func(t *testing.T) {
 			out, errOut, code := exec(cmd, "-h")
@@ -429,6 +429,38 @@ func TestExitCodeContract(t *testing.T) {
 				t.Errorf("%s with unknown flag stderr: %q", cmd, errOut)
 			}
 		})
+	}
+}
+
+// TestLoadtestCommand runs a small warm in-process closed-loop load
+// test end to end: exit 0, throughput and tail latency in the summary,
+// a clean cross-check, and the warm-start hit on the first hot request.
+func TestLoadtestCommand(t *testing.T) {
+	out, errOut, code := exec("loadtest", "-requests", "40", "-clients", "4", "-warm")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"req/s", "p99", "first hot cached: true",
+		"crosscheck: client counts and /statz deltas agree"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(errOut, "warmed") {
+		t.Errorf("warm progress line missing from stderr: %q", errOut)
+	}
+}
+
+func TestLoadtestErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"warm with url": {"loadtest", "-url", "http://127.0.0.1:1", "-warm"},
+		"bad mode":      {"loadtest", "-mode", "sideways"},
+		"bad fractions": {"loadtest", "-hot-frac", "0.9", "-timeout-frac", "0.9"},
+		"dead url":      {"loadtest", "-url", "http://127.0.0.1:1", "-requests", "2"},
+	} {
+		if _, errOut, code := exec(args...); code != 1 || !strings.Contains(errOut, "p2:") {
+			t.Errorf("%s: exit=%d err=%q", name, code, errOut)
+		}
 	}
 }
 

@@ -3,12 +3,14 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"io"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"p2/internal/load"
 	"p2/internal/serve"
 )
 
@@ -27,6 +29,7 @@ func cmdServe(args []string, out, errOut io.Writer) error {
 	memoCap := fs.Int("memo-cap", 0, "synthesis-memo entries the shared planner keeps across requests (0 = 4096, negative = unbounded)")
 	requestTimeout := fs.Duration("request-timeout", 0, "default planning deadline per request when the request body has no timeout_ms (0 = none)")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown bound: how long in-flight requests may finish after SIGTERM/interrupt")
+	warm := fs.Bool("warm", false, "plan the paper-suite catalog into the strategy cache before accepting traffic")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -39,5 +42,12 @@ func cmdServe(args []string, out, errOut io.Writer) error {
 		DefaultTimeout: *requestTimeout,
 		DrainTimeout:   *drain,
 	})
+	if *warm {
+		warmed, err := s.Warm(ctx, load.Catalog())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "warmed %d catalog entries\n", warmed)
+	}
 	return s.ListenAndServe(ctx, *addr, out)
 }

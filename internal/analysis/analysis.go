@@ -314,9 +314,15 @@ func inCritical(pkgPath string) bool {
 
 // inEngine gates an analyzer to every engine package under p2/internal
 // (and to fixtures). cmd/, examples/ and the repo-root CLI surface are
-// free to print, time and randomize.
+// free to print, time and randomize, and so are the two tooling
+// packages excluded here: the analyzer suite itself and the load
+// harness (internal/load), whose seeded workload PRNG and wall-clock
+// latency measurement are its entire purpose — it measures the engine
+// and is never imported by it (DESIGN.md §10, §12).
 func inEngine(pkgPath string) bool {
-	return strings.HasPrefix(pkgPath, "p2/internal/") && !strings.Contains(pkgPath, "internal/analysis") ||
+	return strings.HasPrefix(pkgPath, "p2/internal/") &&
+		!strings.Contains(pkgPath, "internal/analysis") &&
+		pkgPath != "p2/internal/load" ||
 		isFixturePath(pkgPath)
 }
 

@@ -1,0 +1,49 @@
+package load
+
+import "p2/internal/serve"
+
+// HotSetSize is the default number of leading Catalog entries the
+// workload generator treats as the hot set: the population KindHot
+// requests draw from verbatim, so their cache keys repeat and — once the
+// first of each has been planned or the server was warm-started — they
+// hit the strategy cache.
+const HotSetSize = 4
+
+// Catalog returns the canonical valid request population of the load
+// harness: a mixed sweep over the paper-suite systems (fig2a, 2-node
+// A100/V100, a small SuperPod) varying axes, reduction axes, payload,
+// algorithm (pinned and auto-searched) and measure mode. The same list
+// backs `p2 serve -warm` — warming it is exactly what makes the
+// generator's hot set hit on first touch — so catalog and warm set can
+// never drift apart. Entries are deliberately small enough that a full
+// cold sweep plans in seconds: the harness measures the service, not the
+// SuperPod 16x32 frontier.
+//
+// The first HotSetSize entries are the hot set; keep the cheapest
+// requests there.
+func Catalog() []serve.PlanRequest {
+	return []serve.PlanRequest{
+		// Hot set: the paper's fig2a running example, cheapest to plan.
+		{System: "fig2a", Axes: []int{16}, Reduce: []int{0}, TopK: 5},
+		{System: "fig2a", Axes: []int{4, 4}, Reduce: []int{0}, TopK: 5},
+		{System: "fig2a", Axes: []int{4, 4}, Reduce: []int{1}, TopK: 5},
+		{System: "fig2a", Axes: []int{2, 8}, Reduce: []int{0}, Algo: "auto", TopK: 5},
+		// 2-node A100 (32 GPUs): single-axis, two-axis, pinned and auto.
+		{System: "a100", Nodes: 2, Axes: []int{32}, Reduce: []int{0}, TopK: 5},
+		{System: "a100", Nodes: 2, Axes: []int{4, 8}, Reduce: []int{0}, TopK: 5},
+		{System: "a100", Nodes: 2, Axes: []int{4, 8}, Reduce: []int{1}, Algo: "Tree", TopK: 5},
+		{System: "a100", Nodes: 2, Axes: []int{2, 16}, Reduce: []int{0}, Algo: "auto", TopK: 5},
+		// 2-node V100 (16 GPUs): the PCIe-ring shape of the paper's Fig 9b.
+		{System: "v100", Nodes: 2, Axes: []int{16}, Reduce: []int{0}, TopK: 5},
+		{System: "v100", Nodes: 2, Axes: []int{4, 4}, Reduce: []int{1}, TopK: 5},
+		{System: "v100", Nodes: 2, Axes: []int{2, 8}, Reduce: []int{0}, Algo: "HalvingDoubling", TopK: 5},
+		// Measured-in-the-loop: emulator re-ranked top-K.
+		{System: "fig2a", Axes: []int{16}, Reduce: []int{0}, TopK: 3, Measure: "rerank"},
+		{System: "v100", Nodes: 2, Axes: []int{4, 4}, Reduce: []int{0}, TopK: 5, Measure: "rerank"},
+		// A small SuperPod: three hierarchy levels, bound pruning armed.
+		{System: "superpod:2x2", Axes: []int{4, 8}, Reduce: []int{0}, TopK: 5},
+		{System: "superpod:2x2", Axes: []int{32}, Reduce: []int{0}, Algo: "auto", TopK: 5},
+		// Non-default payload on an otherwise-hot shape: distinct cache key.
+		{System: "a100", Nodes: 2, Axes: []int{4, 8}, Reduce: []int{0}, TopK: 5, Bytes: 1e8},
+	}
+}

@@ -124,27 +124,38 @@ type PlanResponse struct {
 	Stats      plan.Stats     `json:"stats"`
 }
 
-// Statz is the JSON body of /statz.
+// Statz is the JSON body of /statz. Every counter is cumulative since
+// startup, so a load harness can difference two snapshots to account for
+// exactly its own traffic (internal/load cross-checks its client-side
+// counts against these deltas).
 type Statz struct {
-	Requests     int64        `json:"requests"`
-	CacheHits    int64        `json:"cache_hits"`
-	CacheMisses  int64        `json:"cache_misses"`
-	CacheHitRate float64      `json:"cache_hit_rate"`
-	CacheEntries int          `json:"cache_entries"`
-	Shed         int64        `json:"shed"`
-	Panics       int64        `json:"panics"`
-	Partials     int64        `json:"partials"`
-	InFlight     int          `json:"in_flight"`
-	Latency      LatencyStatz `json:"latency_ms"`
+	Requests     int64   `json:"requests"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	CacheEntries int     `json:"cache_entries"`
+	// Coalesced counts followers: requests that joined an identical
+	// in-flight computation (single-flight) instead of planning
+	// themselves. Each coalesced request is also a cache miss.
+	Coalesced int64        `json:"coalesced"`
+	Shed      int64        `json:"shed"`
+	Panics    int64        `json:"panics"`
+	Partials  int64        `json:"partials"`
+	InFlight  int          `json:"in_flight"`
+	Latency   LatencyStatz `json:"latency_ms"`
 }
 
 // LatencyStatz reports percentiles over the last latRingSize served
-// /plan responses, in milliseconds.
+// /plan responses, in milliseconds. Percentiles are nearest-rank: p is
+// the smallest window value ≥ p percent of the window (index
+// ⌈p/100·n⌉−1 of the sorted window), pinned by TestLatencyPercentilePin.
 type LatencyStatz struct {
 	Count int     `json:"count"`
 	P50   float64 `json:"p50"`
 	P90   float64 `json:"p90"`
+	P95   float64 `json:"p95"`
 	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
 }
 
 // latRingSize is the served-latency window /statz percentiles cover.
@@ -177,12 +188,13 @@ type Server struct {
 	order   []string // cache keys in insertion order, for FIFO eviction
 	flights map[string]*flight
 
-	requests atomic.Int64
-	hits     atomic.Int64
-	misses   atomic.Int64
-	shed     atomic.Int64
-	panics   atomic.Int64
-	partials atomic.Int64
+	requests  atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	shed      atomic.Int64
+	panics    atomic.Int64
+	partials  atomic.Int64
 
 	latMu sync.Mutex
 	lat   [latRingSize]float64
@@ -251,6 +263,46 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, logw io.Writer
 	return nil
 }
 
+// Warm plans each request on the shared planner and stores the complete
+// results in the strategy cache, so the first client to ask gets a cache
+// hit instead of paying a cold plan — call it before the listener
+// accepts traffic (`p2 serve -warm` does, with the paper-suite catalog).
+// Warming also fills the planner's synthesis memo, so even warm-set
+// misses plan against shared synthesis runs. Warm responses do not touch
+// the /statz request counters: the daemon's accounting covers served
+// traffic only. Partial results (ctx deadline mid-warm) are not cached;
+// a cancelled context stops the sweep with its error. The count of
+// entries actually cached is returned either way. An invalid warm
+// request is a configuration bug and fails the sweep immediately.
+func (s *Server) Warm(ctx context.Context, reqs []PlanRequest) (int, error) {
+	warmed := 0
+	for i := range reqs {
+		pr := reqs[i]
+		sys, req, key, err := resolve(&pr)
+		if err != nil {
+			return warmed, fmt.Errorf("serve: warm request %d: %w", i, err)
+		}
+		if _, ok := s.cacheGet(key); ok {
+			continue
+		}
+		res, err := s.runPlan(ctx, sys, req)
+		if err != nil {
+			return warmed, fmt.Errorf("serve: warm request %d: %w", i, err)
+		}
+		if res.Partial {
+			continue
+		}
+		s.mu.Lock()
+		s.cacheAdd(key, buildResponse(res))
+		s.mu.Unlock()
+		warmed++
+		if err := ctx.Err(); err != nil {
+			return warmed, fmt.Errorf("serve: warm: %w", err)
+		}
+	}
+	return warmed, nil
+}
+
 // handlePlan serves POST /plan: decode → cache → coalesce/shed → plan
 // under the request deadline → respond.
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
@@ -297,6 +349,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		// Follower: an identical request is already computing; share its
 		// outcome rather than burn a second worker on the same answer.
 		s.mu.Unlock()
+		s.coalesced.Add(1)
 		select {
 		case <-f.done:
 			s.respondFlight(w, f, start)
@@ -532,6 +585,7 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		Requests:    s.requests.Load(),
 		CacheHits:   hits,
 		CacheMisses: misses,
+		Coalesced:   s.coalesced.Load(),
 		Shed:        s.shed.Load(),
 		Panics:      s.panics.Load(),
 		Partials:    s.partials.Load(),
@@ -575,8 +629,26 @@ func (s *Server) latency() LatencyStatz {
 		return LatencyStatz{}
 	}
 	sort.Float64s(win)
-	pct := func(p int) float64 { return win[(len(win)-1)*p/100] }
-	return LatencyStatz{Count: n, P50: pct(50), P90: pct(90), P99: pct(99)}
+	pct := func(p float64) float64 { return Percentile(win, p) }
+	return LatencyStatz{Count: n, P50: pct(50), P90: pct(90), P95: pct(95), P99: pct(99), P999: pct(99.9)}
+}
+
+// Percentile returns the nearest-rank p-th percentile of a sorted,
+// non-empty sample: the smallest value v such that at least p percent of
+// the sample is ≤ v, i.e. sorted[⌈p/100·n⌉−1]. The previous
+// lower-interpolation form ((n−1)·p/100, truncated) sat one rank low on
+// a full window — p99 of 1..1024 read 1013 instead of 1014 — which
+// TestLatencyPercentilePin now pins closed. Shared with the load harness
+// so client- and server-side percentiles agree by construction.
+func Percentile(sorted []float64, p float64) float64 {
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
 
 // apiError is the JSON body of every non-200 response.

@@ -474,3 +474,290 @@ func TestGracefulDrain(t *testing.T) {
 		t.Fatalf("drain log missing progression lines: %q", out)
 	}
 }
+
+// TestCacheKeyNormalization table-drives the cache-key contract of
+// resolve(): requests that differ only in fields the key excludes
+// (timeout_ms) or in defaulted-vs-explicit spellings (nodes, reduce,
+// algo, system case) must map to one key, while every field that changes
+// the answer must split the key.
+func TestCacheKeyNormalization(t *testing.T) {
+	key := func(t *testing.T, pr PlanRequest) string {
+		t.Helper()
+		_, _, k, err := resolve(&pr)
+		if err != nil {
+			t.Fatalf("resolve(%+v): %v", pr, err)
+		}
+		return k
+	}
+	base := PlanRequest{System: "a100", Nodes: 4, Axes: []int{4, 16}, Reduce: []int{0}, TopK: 5}
+	cases := []struct {
+		name string
+		a, b PlanRequest
+		same bool
+	}{
+		{"timeout_ms excluded",
+			base,
+			PlanRequest{System: "a100", Nodes: 4, Axes: []int{4, 16}, Reduce: []int{0}, TopK: 5, TimeoutMs: 5000},
+			true},
+		{"nodes defaulted vs explicit",
+			PlanRequest{System: "a100", Axes: []int{4, 16}, Reduce: []int{0}, TopK: 5},
+			base,
+			true},
+		{"reduce defaulted vs explicit",
+			PlanRequest{System: "a100", Nodes: 4, Axes: []int{4, 16}, TopK: 5},
+			base,
+			true},
+		{"algo defaulted vs explicit ring, case-insensitive",
+			base,
+			PlanRequest{System: "a100", Nodes: 4, Axes: []int{4, 16}, Reduce: []int{0}, TopK: 5, Algo: "ring"},
+			true},
+		{"system name case-insensitive",
+			base,
+			PlanRequest{System: "A100", Nodes: 4, Axes: []int{4, 16}, Reduce: []int{0}, TopK: 5},
+			true},
+		{"auto is a distinct algo key",
+			base,
+			PlanRequest{System: "a100", Nodes: 4, Axes: []int{4, 16}, Reduce: []int{0}, TopK: 5, Algo: "auto"},
+			false},
+		{"bytes split the key",
+			base,
+			PlanRequest{System: "a100", Nodes: 4, Axes: []int{4, 16}, Reduce: []int{0}, TopK: 5, Bytes: 1e9},
+			false},
+		{"measure mode splits the key",
+			base,
+			PlanRequest{System: "a100", Nodes: 4, Axes: []int{4, 16}, Reduce: []int{0}, TopK: 5, Measure: "rerank"},
+			false},
+		{"reduce axis splits the key",
+			base,
+			PlanRequest{System: "a100", Nodes: 4, Axes: []int{4, 16}, Reduce: []int{1}, TopK: 5},
+			false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ka, kb := key(t, tc.a), key(t, tc.b)
+			if tc.same && ka != kb {
+				t.Errorf("keys differ:\n%q\n%q", ka, kb)
+			}
+			if !tc.same && ka == kb {
+				t.Errorf("keys collide: %q", ka)
+			}
+		})
+	}
+
+	// Wire-level confirmation: a defaulted request primes the cache for
+	// its explicit spelling, timeout_ms notwithstanding.
+	ts := httptest.NewServer(NewServer(Config{}).Handler())
+	defer ts.Close()
+	code, _ := postPlan(t, ts.URL, `{"system": "fig2a", "axes": [16], "topk": 5}`)
+	if code != http.StatusOK {
+		t.Fatalf("priming request = %d, want 200", code)
+	}
+	code, data := postPlan(t, ts.URL,
+		`{"system": "FIG2A", "axes": [16], "reduce": [0], "algo": "ring", "topk": 5, "timeout_ms": 5000}`)
+	if code != http.StatusOK {
+		t.Fatalf("equivalent request = %d, want 200", code)
+	}
+	if !decodePlan(t, data).Cached {
+		t.Fatal("equivalent spelling of a cached request was not served from the cache")
+	}
+}
+
+// TestCacheEvictionOrder pins the eviction policy as FIFO, not LRU: a
+// cache hit must not refresh an entry's position, so insertion order
+// alone decides the victim.
+func TestCacheEvictionOrder(t *testing.T) {
+	s := NewServer(Config{CacheSize: 3})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := func(topk int) string {
+		return fmt.Sprintf(`{"system": "fig2a", "axes": [16], "topk": %d}`, topk)
+	}
+	for k := 1; k <= 3; k++ {
+		if code, _ := postPlan(t, ts.URL, body(k)); code != http.StatusOK {
+			t.Fatalf("insert topk=%d = %d, want 200", k, code)
+		}
+	}
+	// Touch the oldest entry: under LRU this would save it; under FIFO
+	// it must still be the next victim.
+	code, data := postPlan(t, ts.URL, body(1))
+	if code != http.StatusOK || !decodePlan(t, data).Cached {
+		t.Fatalf("touch of oldest entry: code %d, cached %v, want 200 cached", code, decodePlan(t, data).Cached)
+	}
+	if code, _ = postPlan(t, ts.URL, body(4)); code != http.StatusOK {
+		t.Fatalf("overflow insert = %d, want 200", code)
+	}
+	// topk=1 (inserted first) is gone despite the recent hit...
+	code, data = postPlan(t, ts.URL, body(1))
+	if code != http.StatusOK || decodePlan(t, data).Cached {
+		t.Fatal("oldest entry survived overflow: eviction is not FIFO")
+	}
+	// ...while a later insert survived. The re-request above re-inserted
+	// topk=1 and thereby evicted topk=2, so topk=3 is the probe.
+	code, data = postPlan(t, ts.URL, body(3))
+	if code != http.StatusOK || !decodePlan(t, data).Cached {
+		t.Fatal("entry inserted after the FIFO victim was evicted early")
+	}
+}
+
+// TestSingleFlightRace drives N identical concurrent requests through a
+// planner stub that refuses to return until all N−1 followers have
+// joined the flight: exactly one plan execution, N identical responses
+// (modulo each request's own elapsed_ms), and the coalesced counter
+// equal to N−1. Run under -race with -shuffle=on in CI, this is the
+// coalescing race test.
+func TestSingleFlightRace(t *testing.T) {
+	const n = 8
+	s := NewServer(Config{CacheSize: -1}) // no cache: coalescing must do the sharing
+	realPlan := s.planFn
+	var calls atomic.Int64
+	entered := make(chan struct{})
+	s.planFn = func(ctx context.Context, sys *p2.System, req p2.Request) (*p2.PlanResult, error) {
+		calls.Add(1)
+		close(entered) // second execution would close twice and panic
+		for s.coalesced.Load() < n-1 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(time.Millisecond):
+			}
+		}
+		return realPlan(ctx, sys, req)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type reply struct {
+		code int
+		body []byte
+	}
+	replies := make(chan reply, n)
+	post := func() {
+		code, data := postPlan(t, ts.URL, fig2aBody)
+		replies <- reply{code, data}
+	}
+	go post()
+	<-entered // the leader owns the flight; everyone else must follow
+	var wg sync.WaitGroup
+	for i := 0; i < n-1; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			post()
+		}()
+	}
+	wg.Wait()
+
+	var canon []byte
+	for i := 0; i < n; i++ {
+		r := <-replies
+		if r.code != http.StatusOK {
+			t.Fatalf("coalesced request = %d, want 200", r.code)
+		}
+		resp := decodePlan(t, r.body)
+		resp.ElapsedMs = 0 // each response carries its own served latency
+		norm, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if canon == nil {
+			canon = norm
+		} else if !bytes.Equal(canon, norm) {
+			t.Fatalf("coalesced responses differ:\n%s\nvs\n%s", canon, norm)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("planFn ran %d times for %d identical concurrent requests, want 1", got, n)
+	}
+	if got := s.coalesced.Load(); got != n-1 {
+		t.Fatalf("coalesced counter = %d, want %d", got, n-1)
+	}
+}
+
+// TestLatencyPercentilePin pins the /statz percentile math on known
+// injected sequences: nearest-rank (sorted[⌈p/100·n⌉−1]) on a partial
+// window, a full ring, and a wrapped ring that must have dropped the
+// oldest sample. The full-ring p95/p99 values are exactly the ones the
+// pre-fix lower-interpolation formula got wrong (972/1013).
+func TestLatencyPercentilePin(t *testing.T) {
+	t.Run("partial window", func(t *testing.T) {
+		s := NewServer(Config{})
+		for i := 1; i <= 10; i++ {
+			s.observe(float64(10 * i)) // 10, 20, ..., 100
+		}
+		got := s.latency()
+		want := LatencyStatz{Count: 10, P50: 50, P90: 90, P95: 100, P99: 100, P999: 100}
+		if got != want {
+			t.Fatalf("latency() = %+v, want %+v", got, want)
+		}
+	})
+	t.Run("full ring", func(t *testing.T) {
+		s := NewServer(Config{})
+		for i := 1; i <= latRingSize; i++ {
+			s.observe(float64(i)) // 1..1024
+		}
+		got := s.latency()
+		want := LatencyStatz{Count: 1024, P50: 512, P90: 922, P95: 973, P99: 1014, P999: 1023}
+		if got != want {
+			t.Fatalf("latency() = %+v, want %+v", got, want)
+		}
+	})
+	t.Run("wrapped ring drops oldest", func(t *testing.T) {
+		s := NewServer(Config{})
+		for i := 1; i <= latRingSize; i++ {
+			s.observe(float64(i))
+		}
+		s.observe(2048) // overwrites sample 1; window is now {2..1024, 2048}
+		got := s.latency()
+		want := LatencyStatz{Count: 1024, P50: 513, P90: 923, P95: 974, P99: 1015, P999: 1024}
+		if got != want {
+			t.Fatalf("latency() = %+v, want %+v", got, want)
+		}
+	})
+}
+
+// TestWarm checks the warm-start hook: Warm plans each request into the
+// strategy cache exactly once, skips already-cached keys, and the next
+// wire request for a warmed key is a cache hit with zero misses.
+func TestWarm(t *testing.T) {
+	s := NewServer(Config{})
+	reqs := []PlanRequest{
+		{System: "fig2a", Axes: []int{16}, TopK: 5},
+		{System: "fig2a", Axes: []int{4, 4}, TopK: 5},
+		// Same key as the first (defaulted vs explicit spelling).
+		{System: "FIG2A", Axes: []int{16}, Reduce: []int{0}, Algo: "ring", TopK: 5},
+	}
+	warmed, err := s.Warm(context.Background(), reqs)
+	if err != nil {
+		t.Fatalf("Warm: %v", err)
+	}
+	if warmed != 2 {
+		t.Fatalf("Warm planned %d entries, want 2 (third is a duplicate key)", warmed)
+	}
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	code, data := postPlan(t, ts.URL, fig2aBody)
+	if code != http.StatusOK {
+		t.Fatalf("POST /plan after warm = %d, want 200", code)
+	}
+	if !decodePlan(t, data).Cached {
+		t.Fatal("first request for a warmed key was not served from the cache")
+	}
+	if s.misses.Load() != 0 {
+		t.Fatalf("warm-started server took %d misses on a warmed key, want 0", s.misses.Load())
+	}
+
+	// A canceled context stops the sweep with partial progress reported.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewServer(Config{}).Warm(ctx, reqs); err == nil {
+		t.Fatal("Warm with canceled context returned nil error")
+	}
+
+	// A malformed warm request fails the sweep rather than starting a
+	// daemon whose cache silently misses what the operator asked for.
+	if _, err := NewServer(Config{}).Warm(context.Background(), []PlanRequest{{System: "nonesuch", Axes: []int{4}}}); err == nil {
+		t.Fatal("Warm with an unresolvable request returned nil error")
+	}
+}

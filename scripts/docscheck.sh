@@ -24,7 +24,7 @@ fail=0
 # -fault) in the second.
 defined=$(
   {
-    grep -hoE 'fs\.(String|Int|Bool|Float64|Duration)\("[a-z-]+"' cmd/p2/*.go cmd/p2lint/*.go
+    grep -hoE 'fs\.(String|Int|Int64|Bool|Float64|Duration)\("[a-z-]+"' cmd/p2/*.go cmd/p2lint/*.go
     grep -hoE 'fs\.Var\([^,]+, "[a-z-]+"' cmd/p2/*.go
     # package flag defines -h/-help on every FlagSet implicitly.
     printf 'h\nhelp\n'

@@ -1,0 +1,76 @@
+// Command servebenchjson converts a `p2 loadtest -compare-warm -json`
+// report (on stdin) into the repo's BENCH_serve.json snapshot: the cold
+// and warm run reports verbatim under a dated entry. If the output file
+// already exists, its "baseline" section is preserved so successive runs
+// compare against the recorded numbers; on first run the current numbers
+// seed the baseline.
+//
+// It is invoked by scripts/loadsmoke.sh, which owns the run parameters.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Run is one snapshot: the loadtest report (keyed cold/warm) verbatim.
+type Run struct {
+	Date string                     `json:"date"`
+	Runs map[string]json.RawMessage `json:"runs"`
+	Note string                     `json:"note,omitempty"`
+}
+
+// File is the BENCH_serve.json layout.
+type File struct {
+	Baseline *Run `json:"baseline,omitempty"`
+	Current  *Run `json:"current"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_serve.json", "output snapshot file")
+	note := flag.String("note", "", "free-form note recorded in the snapshot")
+	flag.Parse()
+	if err := run(*out, *note); err != nil {
+		fmt.Fprintln(os.Stderr, "servebenchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, note string) error {
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		return fmt.Errorf("reading report from stdin: %w", err)
+	}
+	var runs map[string]json.RawMessage
+	if err := json.Unmarshal(data, &runs); err != nil {
+		return fmt.Errorf("parsing loadtest report: %w", err)
+	}
+	for _, key := range []string{"cold", "warm"} {
+		if _, ok := runs[key]; !ok {
+			return fmt.Errorf("report has no %q run: pass `p2 loadtest -compare-warm -json` output", key)
+		}
+	}
+	cur := &Run{Date: time.Now().UTC().Format(time.RFC3339), Runs: runs, Note: note}
+
+	f := File{Current: cur}
+	if prev, err := os.ReadFile(out); err == nil {
+		var old File
+		if err := json.Unmarshal(prev, &old); err != nil {
+			return fmt.Errorf("parsing existing %s: %w", out, err)
+		}
+		f.Baseline = old.Baseline
+	}
+	if f.Baseline == nil {
+		f.Baseline = cur
+	}
+
+	enc, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(enc, '\n'), 0o644)
+}
